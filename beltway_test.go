@@ -1,0 +1,193 @@
+package beltway_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"beltway"
+)
+
+// TestPublicAPIQuickstart exercises the documented public surface end to
+// end: configure, allocate, mutate, collect, read back, inspect stats.
+func TestPublicAPIQuickstart(t *testing.T) {
+	types := beltway.NewTypes()
+	col, err := beltway.New(beltway.XX100(25, beltway.Options{
+		HeapBytes:  512 << 10,
+		FrameBytes: 8 << 10,
+	}), types)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := beltway.NewMutator(col)
+	node := types.DefineScalar("node", 1, 2)
+
+	err = m.Run(func() {
+		head := m.Alloc(node, 0)
+		m.SetData(head, 0, 0)
+		tail := head
+		for i := 1; i < 5000; i++ {
+			n := m.Alloc(node, 0)
+			m.SetData(n, 0, uint32(i))
+			m.SetRef(tail, 0, n)
+			if tail != head {
+				m.Release(tail)
+			}
+			tail = n
+		}
+		m.Collect(true)
+		if m.GetData(head, 0) != 0 {
+			t.Error("head corrupted")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.Collections() == 0 {
+		t.Error("no collections")
+	}
+	if col.Clock().Counters.BytesAllocated == 0 {
+		t.Error("no allocation recorded")
+	}
+}
+
+// TestPublicPresets instantiates every exported preset.
+func TestPublicPresets(t *testing.T) {
+	o := beltway.Options{HeapBytes: 256 << 10, FrameBytes: 4 << 10}
+	for _, cfg := range []beltway.Config{
+		beltway.SemiSpace(o),
+		beltway.BA2(o),
+		beltway.XX(25, o),
+		beltway.XX100(25, o),
+		beltway.XY(25, 50, o),
+		beltway.OlderFirst(25, o),
+		beltway.OlderFirstMix(25, o),
+		beltway.Appel(o),
+		beltway.FixedNursery(25, o),
+	} {
+		if _, err := beltway.New(cfg, beltway.NewTypes()); err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+		}
+	}
+	if _, err := beltway.ParseConfig("25.25.100", o); err != nil {
+		t.Errorf("ParseConfig: %v", err)
+	}
+	if _, err := beltway.ParseConfig("bogus", o); err == nil {
+		t.Error("ParseConfig accepted garbage")
+	}
+}
+
+// TestPublicBenchmarkRun runs a bundled workload through the facade and
+// computes its MMU curve.
+func TestPublicBenchmarkRun(t *testing.T) {
+	env := beltway.EnvForScale(0.1)
+	b := beltway.GetBenchmark("jess")
+	if b == nil || len(beltway.Benchmarks()) != 6 {
+		t.Fatal("benchmark catalog broken")
+	}
+	o := beltway.Options{HeapBytes: 1 << 20, FrameBytes: env.FrameBytes}
+	res, err := beltway.Run(beltway.XX100(25, o), b, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OOM {
+		t.Fatal("unexpected OOM")
+	}
+	if res.TotalTime <= 0 || res.Collections == 0 {
+		t.Error("degenerate result")
+	}
+	curve := beltway.ComputeMMU(res, 16)
+	if len(curve.Points) != 16 || curve.Throughput <= 0 || curve.Throughput > 1 {
+		t.Error("bad MMU curve")
+	}
+}
+
+// TestPublicMinHeapAndOOM checks FindMinHeap through the facade.
+func TestPublicMinHeapAndOOM(t *testing.T) {
+	env := beltway.EnvForScale(0.1)
+	b := beltway.GetBenchmark("db")
+	mk := func(h int) beltway.Config {
+		return beltway.Appel(beltway.Options{HeapBytes: h, FrameBytes: env.FrameBytes})
+	}
+	min, err := beltway.FindMinHeap(mk, b, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	below, err := beltway.Run(mk(min-2*env.FrameBytes), b, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !below.OOM {
+		t.Error("run below min heap completed")
+	}
+}
+
+// TestPublicTraceRoundTrip records, serializes and replays through the
+// facade.
+func TestPublicTraceRoundTrip(t *testing.T) {
+	o := beltway.Options{HeapBytes: 256 << 10, FrameBytes: 4 << 10}
+	tr := beltway.NewTrace()
+	types := beltway.NewTypes()
+	col, err := beltway.New(beltway.XX100(25, o), types)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := beltway.NewMutator(col)
+	m.SetRecorder(tr)
+	node := types.DefineScalar("n", 1, 1)
+	if err := m.Run(func() {
+		for i := 0; i < 2000; i++ {
+			m.Push()
+			h := m.Alloc(node, 0)
+			m.SetData(h, 0, uint32(i))
+			m.Pop()
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := beltway.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col2, err := beltway.New(beltway.Appel(o), beltway.NewTypes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := beltway.ReplayTrace(tr2, beltway.NewMutator(col2)); err != nil {
+		t.Fatal(err)
+	}
+	if col2.Clock().Counters.BytesAllocated != col.Clock().Counters.BytesAllocated {
+		t.Error("replay allocation volume differs")
+	}
+}
+
+// TestErrorsSurfaceThroughFacade: invalid configs error cleanly.
+func TestErrorsSurfaceThroughFacade(t *testing.T) {
+	_, err := beltway.New(beltway.Config{Name: "broken"}, beltway.NewTypes())
+	if err == nil {
+		t.Error("invalid config accepted")
+	}
+	var cfgOK beltway.Config = beltway.SemiSpace(beltway.Options{HeapBytes: 64 << 10, FrameBytes: 4 << 10})
+	col, err := beltway.New(cfgOK, beltway.NewTypes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := beltway.NewMutator(col)
+	big := col.Space().Types.DefineWordArray("big")
+	runErr := m.Run(func() {
+		for {
+			m.AllocGlobal(big, 100)
+		}
+	})
+	if runErr == nil {
+		t.Fatal("no OOM")
+	}
+	if !errors.Is(runErr, beltway.ErrOutOfMemory) {
+		t.Errorf("OOM error does not unwrap to beltway.ErrOutOfMemory: %v", runErr)
+	}
+}

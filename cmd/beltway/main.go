@@ -1,0 +1,140 @@
+// Command beltway runs one benchmark on one collector configuration and
+// reports detailed statistics — the command-line interface the paper
+// alludes to ("Beltway configurations, selected by command line
+// options").
+//
+// Usage:
+//
+//	beltway -gc 25.25.100 -bench jess -heap 2.0
+//	beltway -gc appel -bench pseudojbb -heap 1.5 -mmu
+//	beltway -gc bof:25 -bench javac -heapMB 4
+//
+// The -gc flag accepts: ss | appel | appel3 | fixed:N | bofm:N | bof:N |
+// X.X | X.X.100 (e.g. 25.25, 33.33.100). -heap gives the heap as a
+// multiple of the benchmark's minimum (found by binary search); -heapMB
+// sets it absolutely.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"beltway/internal/collectors"
+	"beltway/internal/core"
+	"beltway/internal/harness"
+	"beltway/internal/stats"
+	"beltway/internal/workload"
+)
+
+func main() {
+	var (
+		gcName  = flag.String("gc", "25.25.100", "collector configuration")
+		bench   = flag.String("bench", "jess", "benchmark name")
+		heapX   = flag.Float64("heap", 2.0, "heap size as a multiple of the min heap")
+		heapMB  = flag.Float64("heapMB", 0, "absolute heap size in MB (overrides -heap)")
+		scale   = flag.Float64("scale", 1.0, "workload scale")
+		seed    = flag.Int64("seed", workload.DefaultParams().Seed, "PRNG seed")
+		frameKB = flag.Int("frame", 0, "frame size in KB (0 = auto from scale)")
+		physMB  = flag.Int("physmem", -1, "modelled physical memory in MB (0 = off, -1 = auto)")
+		showMMU = flag.Bool("mmu", false, "print the MMU curve")
+		preten  = flag.Bool("pretenure", false, "route known-long-lived allocation sites to older belts")
+	)
+	flag.Parse()
+
+	b := workload.Get(*bench)
+	if b == nil {
+		fatalf("unknown benchmark %q (have: %v)", *bench, workload.Names())
+	}
+	env := harness.EnvForScale(*scale)
+	env.Seed = *seed
+	if *frameKB > 0 {
+		env.FrameBytes = *frameKB * 1024
+	}
+	if *physMB >= 0 {
+		env.PhysMemBytes = *physMB << 20
+	}
+	env.Pretenure = *preten
+
+	var heapBytes int
+	if *heapMB > 0 {
+		heapBytes = int(*heapMB * (1 << 20))
+	} else {
+		appel := func(h int) core.Config {
+			c, err := collectors.Parse("appel", collectors.Options{
+				HeapBytes: h, FrameBytes: env.FrameBytes, PhysMemBytes: env.PhysMemBytes})
+			if err != nil {
+				panic(err)
+			}
+			return c
+		}
+		min, err := harness.FindMinHeap(appel, b, env)
+		if err != nil {
+			fatalf("min-heap search: %v", err)
+		}
+		heapBytes = int(float64(min) * *heapX)
+		heapBytes = (heapBytes / env.FrameBytes) * env.FrameBytes
+		fmt.Printf("min heap (Appel): %s MB; running at %s MB (%.2fx)\n",
+			harness.FmtMB(min), harness.FmtMB(heapBytes), *heapX)
+	}
+
+	config, err := collectors.Parse(*gcName, collectors.Options{
+		HeapBytes: heapBytes, FrameBytes: env.FrameBytes, PhysMemBytes: env.PhysMemBytes})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	res, err := harness.RunOne(config, b, env)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	printResult(res)
+	if *showMMU && !res.OOM {
+		curve := res.MMU(24)
+		fmt.Printf("\nMMU curve (max pause %.3f ms, throughput %.3f):\n",
+			curve.MaxPause/733e3, curve.Throughput)
+		fmt.Printf("%12s  %s\n", "window(ms)", "min utilization")
+		for _, p := range curve.Points {
+			fmt.Printf("%12.3f  %.3f\n", p.Window/733e3, p.Utilization)
+		}
+	}
+}
+
+func printResult(r *harness.Result) {
+	if r.OOM {
+		fmt.Printf("%s on %s: OUT OF MEMORY at %s MB\n",
+			r.Collector, r.Benchmark, harness.FmtMB(r.HeapBytes))
+		return
+	}
+	c := r.Counters
+	fmt.Printf("\n%s on %s, heap %s MB\n", r.Collector, r.Benchmark, harness.FmtMB(r.HeapBytes))
+	fmt.Printf("  total time          %10.3f s (nominal)\n", r.TotalTime/733e6)
+	fmt.Printf("  gc time             %10.3f s (%.1f%%)\n", r.GCTime/733e6, 100*r.GCFraction())
+	ps := stats.SummarizePauses(r.Pauses)
+	fmt.Printf("  pauses              %10d (median %.3f ms, p90 %.3f, p99 %.3f, max %.3f)\n",
+		ps.Count, ps.Median/733e3, ps.P90/733e3, ps.P99/733e3, ps.Max/733e3)
+	fmt.Printf("  collections         %10d (%d full)\n", r.Collections, c.FullCollections)
+	fmt.Printf("  allocated           %10.2f MB in %d objects\n",
+		float64(c.BytesAllocated)/(1<<20), c.ObjectsAllocated)
+	fmt.Printf("  copied              %10.2f MB in %d objects (mark/cons %.3f)\n",
+		float64(c.BytesCopied)/(1<<20), c.ObjectsCopied,
+		float64(c.BytesCopied)/float64(max64(c.BytesAllocated, 1)))
+	fmt.Printf("  pointer stores      %10d (%d slow path, %d remset inserts)\n",
+		c.PointerStores, c.BarrierSlowPaths, c.RemsetInserts)
+	fmt.Printf("  remset entries @GC  %10d\n", c.RemsetEntriesGC)
+	fmt.Printf("  roots scanned       %10d; boot scanned %.2f MB\n",
+		c.RootsScanned, float64(c.BootBytesScanned)/(1<<20))
+	fmt.Printf("  frames mapped       %10d (%d unmapped); paged alloc %.2f MB\n",
+		c.FramesMapped, c.FramesUnmapped, float64(c.PageFaultBytes)/(1<<20))
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "beltway: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,105 @@
+// Command experiments regenerates the tables and figures of "Beltway:
+// Getting Around Garbage Collection Gridlock" (PLDI 2002).
+//
+// Usage:
+//
+//	experiments -exp fig9                # one experiment
+//	experiments -exp all                 # everything, paper order
+//	experiments -exp fig9 -points 9      # coarser sweep (faster)
+//	experiments -exp table1 -scale 0.25  # smaller workloads
+//	experiments -list                    # show available experiments
+//
+// Output is a set of text tables, one data series per collector — the
+// same rows/series the paper plots. Absolute "seconds" are nominal cost
+// units; compare shapes, not magnitudes (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"beltway/internal/experiments"
+	"beltway/internal/harness"
+	"beltway/internal/workload"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment id (table1, fig1, fig5..fig11, all)")
+		points   = flag.Int("points", 17, "heap sizes per sweep (paper used 33)")
+		scale    = flag.Float64("scale", 1.0, "workload scale")
+		seed     = flag.Int64("seed", workload.DefaultParams().Seed, "workload PRNG seed")
+		frameKB  = flag.Int("frame", 0, "frame size in KB (power of two; 0 = auto from scale)")
+		physMB   = flag.Int("physmem", -1, "modelled physical memory in MB (0 = no paging, -1 = auto)")
+		verbose  = flag.Bool("v", false, "print per-run progress")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		csvOut   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		benchSel = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all six)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Description)
+		}
+		return
+	}
+
+	env := harness.EnvForScale(*scale)
+	env.Seed = *seed
+	if *frameKB > 0 {
+		env.FrameBytes = *frameKB * 1024
+	}
+	if *physMB >= 0 {
+		env.PhysMemBytes = *physMB * 1024 * 1024
+	}
+
+	opts := experiments.Opts{Env: env, Points: *points}
+	if *benchSel != "" {
+		for _, name := range strings.Split(*benchSel, ",") {
+			b := workload.Get(strings.TrimSpace(name))
+			if b == nil {
+				fatalf("unknown benchmark %q (have: %s)", name, strings.Join(workload.Names(), ", "))
+			}
+			opts.Benchmarks = append(opts.Benchmarks, b)
+		}
+	}
+	if *verbose {
+		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+	suite := experiments.New(opts)
+
+	var ids []string
+	if *exp == "all" {
+		for _, e := range experiments.Registry() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*exp, ",")
+	}
+
+	for _, id := range ids {
+		e := experiments.Get(strings.TrimSpace(id))
+		if e == nil {
+			fatalf("unknown experiment %q (use -list)", id)
+		}
+		tables, err := e.Run(suite)
+		if err != nil {
+			fatalf("%s: %v", e.ID, err)
+		}
+		for _, t := range tables {
+			if *csvOut {
+				fmt.Printf("# %s\n%s\n", t.Title, t.CSV())
+			} else {
+				fmt.Println(t.String())
+			}
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,148 @@
+// Command tracebench performs trace-driven collector comparison: record
+// a bundled benchmark's mutator event stream once, then replay the
+// identical stream against any set of collector configurations. Because
+// the input is bit-identical across replays, every difference in the
+// report is pure collector policy.
+//
+// Usage:
+//
+//	tracebench -bench jess -scale 0.25 -heapMB 2            # record + compare defaults
+//	tracebench -bench db -gcs "appel,25.25.100,bof:25"      # choose collectors
+//	tracebench -bench javac -record javac.trace             # record to file
+//	tracebench -trace javac.trace -gcs "cards:25.25.100"    # replay from file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"beltway/internal/collectors"
+	"beltway/internal/core"
+	"beltway/internal/harness"
+	"beltway/internal/heap"
+	"beltway/internal/stats"
+	"beltway/internal/trace"
+	"beltway/internal/vm"
+	"beltway/internal/workload"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "jess", "benchmark to record")
+		scale     = flag.Float64("scale", 0.25, "workload scale for recording")
+		heapMB    = flag.Float64("heapMB", 0, "heap size in MB (0 = 1.5x recorded min)")
+		gcs       = flag.String("gcs", "ss,appel,fixed:25,25.25,25.25.100,25.25.mos,bof:25,bofm:25",
+			"comma-separated collector specs to replay against")
+		recordTo  = flag.String("record", "", "write the recorded trace to this file and exit")
+		replayArg = flag.String("trace", "", "replay this trace file instead of recording")
+		seed      = flag.Int64("seed", 1, "PRNG seed for recording")
+	)
+	flag.Parse()
+
+	env := harness.EnvForScale(*scale)
+	heapBytes := int(*heapMB * (1 << 20))
+
+	var tr *trace.Trace
+	switch {
+	case *replayArg != "":
+		f, err := os.Open(*replayArg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		tr, err = trace.ReadFrom(f)
+		f.Close()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("loaded trace %s (%d bytes)\n", *replayArg, tr.Len())
+		if heapBytes == 0 {
+			fatalf("-heapMB is required when replaying from a file")
+		}
+	default:
+		b := workload.Get(*benchName)
+		if b == nil {
+			fatalf("unknown benchmark %q (have: %v)", *benchName, workload.Names())
+		}
+		if heapBytes == 0 {
+			mk := func(h int) core.Config {
+				c, err := collectors.Parse("appel", collectors.Options{HeapBytes: h, FrameBytes: env.FrameBytes})
+				if err != nil {
+					panic(err)
+				}
+				return c
+			}
+			min, err := harness.FindMinHeap(mk, b, env)
+			if err != nil {
+				fatalf("min heap search: %v", err)
+			}
+			heapBytes = min * 3 / 2
+		}
+		fmt.Printf("recording %s at scale %v in a %.2f MB heap...\n",
+			b.Name, *scale, float64(heapBytes)/(1<<20))
+		tr = trace.NewTrace()
+		types := heap.NewRegistry()
+		h, err := core.New(collectors.XX100(25, collectors.Options{
+			HeapBytes: heapBytes, FrameBytes: env.FrameBytes}), types)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		m := vm.New(h)
+		m.SetRecorder(tr)
+		ctx := &workload.Ctx{M: m, Types: types, Rng: rand.New(rand.NewSource(*seed)), Scale: *scale}
+		if err := m.Run(func() { b.Body(ctx) }); err != nil {
+			fatalf("recording failed: %v", err)
+		}
+		fmt.Printf("trace: %d bytes, %.2f MB allocated\n\n",
+			tr.Len(), float64(h.Clock().Counters.BytesAllocated)/(1<<20))
+	}
+
+	if *recordTo != "" {
+		f, err := os.Create(*recordTo)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if _, err := tr.WriteTo(f); err != nil {
+			fatalf("%v", err)
+		}
+		f.Close()
+		fmt.Printf("wrote %s\n", *recordTo)
+		return
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "collector\tGCs\tfull\tcopied MB\tremset ins\tcards\tGC %\tmedian pause ms\tmax pause ms")
+	for _, spec := range strings.Split(*gcs, ",") {
+		spec = strings.TrimSpace(spec)
+		cfg, err := collectors.Parse(spec, collectors.Options{
+			HeapBytes: heapBytes, FrameBytes: env.FrameBytes})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		types := heap.NewRegistry()
+		h, err := core.New(cfg, types)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		m := vm.New(h)
+		if err := trace.Replay(tr, m); err != nil {
+			fmt.Fprintf(w, "%s\tfailed: %v\t\t\t\t\t\t\t\n", cfg.Name, err)
+			continue
+		}
+		c := h.Clock().Counters
+		ps := stats.SummarizePauses(h.Clock().Pauses())
+		fmt.Fprintf(w, "%s\t%d\t%d\t%.2f\t%d\t%d\t%.1f%%\t%.3f\t%.3f\n",
+			cfg.Name, c.Collections, c.FullCollections,
+			float64(c.BytesCopied)/(1<<20), c.RemsetInserts, c.CardsScanned,
+			100*h.Clock().GCFraction(), ps.Median/733e3, ps.Max/733e3)
+	}
+	w.Flush()
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracebench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,80 @@
+package beltway_test
+
+import (
+	"fmt"
+
+	"beltway"
+)
+
+// ExampleNew builds the paper's headline collector, Beltway 25.25.100,
+// and runs a small allocation workload on it.
+func ExampleNew() {
+	types := beltway.NewTypes()
+	col, err := beltway.New(beltway.XX100(25, beltway.Options{
+		HeapBytes:  1 << 20,
+		FrameBytes: 8 << 10,
+	}), types)
+	if err != nil {
+		panic(err)
+	}
+	m := beltway.NewMutator(col)
+	pair := types.DefineScalar("pair", 2, 0)
+	leaf := types.DefineScalar("leaf", 0, 1)
+
+	_ = m.Run(func() {
+		root := m.Alloc(pair, 0)
+		l := m.Alloc(leaf, 0)
+		m.SetData(l, 0, 7)
+		m.SetRef(root, 0, l)
+		m.Collect(true) // objects move; handles stay valid
+		fmt.Println(m.GetData(m.GetRef(root, 0), 0))
+	})
+	// Output: 7
+}
+
+// ExampleConfig_validate shows that configurations are plain data: a
+// bespoke three-belt collector is a struct literal.
+func ExampleConfig() {
+	cfg := beltway.Config{
+		Name: "custom 10.30.100",
+		Belts: []beltway.BeltSpec{
+			{IncrementFrac: 0.10, MaxIncrements: 1, PromoteTo: 1},
+			{IncrementFrac: 0.30, PromoteTo: 2},
+			{IncrementFrac: 1.00, PromoteTo: 2},
+		},
+		HeapBytes:  1 << 20,
+		FrameBytes: 8 << 10,
+	}
+	fmt.Println(cfg.Validate())
+	// Output: <nil>
+}
+
+// ExampleParseConfig parses the paper's command-line spellings.
+func ExampleParseConfig() {
+	o := beltway.Options{HeapBytes: 1 << 20, FrameBytes: 8 << 10}
+	for _, spec := range []string{"25.25.100", "appel", "bof:25", "25.25.mos"} {
+		cfg, err := beltway.ParseConfig(spec, o)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s -> %s (%d belts)\n", spec, cfg.Name, len(cfg.Belts))
+	}
+	// Output:
+	// 25.25.100 -> Beltway 25.25.100 (3 belts)
+	// appel -> Appel (2 belts)
+	// bof:25 -> BOF 25 (2 belts)
+	// 25.25.mos -> Beltway 25.25.MOS (3 belts)
+}
+
+// ExampleRun measures a bundled benchmark on a configuration.
+func ExampleRun() {
+	env := beltway.EnvForScale(0.1)
+	res, err := beltway.Run(
+		beltway.XX100(25, beltway.Options{HeapBytes: 1 << 20, FrameBytes: env.FrameBytes}),
+		beltway.GetBenchmark("jess"), env)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.OOM, res.Collections > 0, res.GCFraction() < 1)
+	// Output: false true true
+}

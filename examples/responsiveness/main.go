@@ -1,0 +1,95 @@
+// Responsiveness: reproduce the paper's §4.3 methodology on one
+// workload — compare minimum mutator utilization (MMU) curves across
+// collector configurations. Smaller Beltway increments bound pause
+// times, so Beltway 10.10/10.10.100 sit to the left of (respond better
+// than) Appel, as in paper Figure 11.
+//
+// Run with: go run ./examples/responsiveness
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"text/tabwriter"
+
+	"beltway"
+)
+
+func main() {
+	env := beltway.EnvForScale(0.5)
+	bench := beltway.GetBenchmark("javac")
+
+	base := beltway.Options{FrameBytes: env.FrameBytes, PhysMemBytes: env.PhysMemBytes}
+	min, err := beltway.FindMinHeap(func(h int) beltway.Config {
+		o := base
+		o.HeapBytes = h
+		return beltway.Appel(o)
+	}, bench, env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	o := base
+	o.HeapBytes = min * 2
+
+	configs := []beltway.Config{
+		beltway.Appel(o),
+		beltway.XX(10, o),
+		beltway.XX100(10, o),
+		beltway.XX(33, o),
+		beltway.XX100(33, o),
+	}
+
+	fmt.Printf("MMU for %s at %.2f MB (2x Appel min heap)\n", bench.Name, float64(o.HeapBytes)/(1<<20))
+	fmt.Println("cells: minimum mutator utilization over windows of the given length")
+	fmt.Println()
+
+	type row struct {
+		name     string
+		maxPause float64
+		curve    beltway.MMUCurve
+	}
+	var rows []row
+	var total float64
+	for _, cfg := range configs {
+		res, err := beltway.Run(cfg, bench, env)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.OOM {
+			fmt.Printf("%s: OOM\n", cfg.Name)
+			continue
+		}
+		total = res.TotalTime
+		rows = append(rows, row{cfg.Name, res.MaxPause, beltway.ComputeMMU(res, 64)})
+	}
+
+	// Shared log-spaced window axis.
+	var windows []float64
+	for i := 0; i < 10; i++ {
+		windows = append(windows, total/3*math.Pow(3e-4, float64(9-i)/9))
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprint(w, "window (ms)\t")
+	for _, wd := range windows {
+		fmt.Fprintf(w, "%.2f\t", wd/733e3)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t", r.name)
+		for _, wd := range windows {
+			fmt.Fprintf(w, "%.2f\t", r.curve.At(wd))
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+
+	fmt.Println("\nmax pause (ms):")
+	for _, r := range rows {
+		fmt.Printf("  %-20s %.3f\n", r.name, r.maxPause/733e3)
+	}
+	fmt.Println("\nHigher utilization at smaller windows = better responsiveness;")
+	fmt.Println("the x-intercept of each curve is that collector's maximum pause.")
+}

@@ -1,0 +1,3 @@
+module beltway
+
+go 1.22

@@ -1,0 +1,168 @@
+// Package collectors provides the named Beltway configurations from the
+// paper (§3.1, §3.2) plus the generational baselines, and a command-line
+// parser mirroring how the paper's collectors were "selected by command
+// line options".
+//
+// Increment sizes are conventionally expressed as percentages of usable
+// memory, e.g. "25.25.100" is a three-belt collector whose two lower
+// belts have increments of 25% and whose third belt has one increment
+// that may grow to all usable memory.
+package collectors
+
+import (
+	"fmt"
+
+	"beltway/internal/core"
+	"beltway/internal/heap"
+)
+
+// Options is the preset parameter set; it aliases core.Options so the
+// generational baselines can share it without an import cycle.
+type Options = core.Options
+
+// BSS is Beltway Semi-Space (Figure 3(a)): one belt, one increment as
+// large as usable memory, survivors copied to a new increment on the
+// same belt.
+func BSS(o Options) core.Config {
+	c := core.Config{
+		Name: "BSS",
+		Belts: []core.BeltSpec{
+			{IncrementFrac: 1.0, PromoteTo: 0},
+		},
+	}
+	o.Apply(&c)
+	return c
+}
+
+// BA2 is Beltway Appel with two generations (Figure 3(b)): two belts,
+// each one unbounded increment; the nursery grows into all memory not
+// consumed by the higher belt. It is "Beltway 100.100".
+func BA2(o Options) core.Config {
+	c := XX(100, o)
+	c.Name = "Beltway 100.100"
+	return c
+}
+
+// BOFM is Beltway Older-First Mix (Figure 3(c)): a single belt of
+// fixed-size increments; both allocation and survivors go to the last
+// increment, mixing copies with new objects.
+func BOFM(incrPercent int, o Options) core.Config {
+	c := core.Config{
+		Name: fmt.Sprintf("BOFM %d", incrPercent),
+		Belts: []core.BeltSpec{
+			{IncrementFrac: frac(incrPercent), PromoteTo: 0},
+		},
+	}
+	o.Apply(&c)
+	return c
+}
+
+// BOF is Beltway Older-First (Figure 3(d)): an allocation belt A and a
+// copy belt C with window-sized increments; when A empties the belts
+// flip.
+func BOF(windowPercent int, o Options) core.Config {
+	c := core.Config{
+		Name: fmt.Sprintf("BOF %d", windowPercent),
+		Belts: []core.BeltSpec{
+			{IncrementFrac: frac(windowPercent), PromoteTo: 1},
+			{IncrementFrac: frac(windowPercent), PromoteTo: 0},
+		},
+		OlderFirst: true,
+	}
+	o.Apply(&c)
+	return c
+}
+
+// XX is Beltway X.X (Figure 3(e)): two belts with increments of size X%
+// of usable memory, a single bounded nursery increment (the paper's
+// nursery trigger), survivors promoted upward, the top belt collected
+// FIFO. Incremental but not complete for X < 100.
+func XX(x int, o Options) core.Config {
+	c := core.Config{
+		Name: fmt.Sprintf("Beltway %d.%d", x, x),
+		Belts: []core.BeltSpec{
+			{IncrementFrac: frac(x), MaxIncrements: 1, PromoteTo: 1},
+			{IncrementFrac: frac(x), PromoteTo: 1},
+		},
+		NurseryFilter: true,
+	}
+	o.Apply(&c)
+	return c
+}
+
+// XX100 is Beltway X.X.100 (Figure 3(f)): the two X-sized belts of XX
+// plus a third belt with a single increment that may grow to all usable
+// memory, restoring completeness at the cost of occasional full-heap
+// collections.
+func XX100(x int, o Options) core.Config {
+	c := core.Config{
+		Name: fmt.Sprintf("Beltway %d.%d.100", x, x),
+		Belts: []core.BeltSpec{
+			{IncrementFrac: frac(x), MaxIncrements: 1, PromoteTo: 1},
+			{IncrementFrac: frac(x), PromoteTo: 2},
+			{IncrementFrac: 1.0, PromoteTo: 2},
+		},
+		NurseryFilter: true,
+	}
+	o.Apply(&c)
+	return c
+}
+
+// XXMOS is Beltway X.X.MOS: the paper's §5 future-work configuration —
+// the two X-sized lower belts of Beltway X.X with a Mature Object Space
+// (train algorithm) belt on top in place of X.X.100's monolithic third
+// belt, "so as to obtain completeness without full-heap collections".
+// Cars on the MOS belt are X% of usable memory.
+func XXMOS(x int, o Options) core.Config {
+	c := core.Config{
+		Name: fmt.Sprintf("Beltway %d.%d.MOS", x, x),
+		Belts: []core.BeltSpec{
+			{IncrementFrac: frac(x), MaxIncrements: 1, PromoteTo: 1},
+			{IncrementFrac: frac(x), PromoteTo: 2},
+			{IncrementFrac: frac(x), PromoteTo: 2},
+		},
+		NurseryFilter: true,
+		MOS:           true,
+	}
+	o.Apply(&c)
+	return c
+}
+
+// XY is the generalization mentioned in §3.2: two belts with distinct
+// increment sizes X and Y (percent of usable memory).
+func XY(x, y int, o Options) core.Config {
+	c := core.Config{
+		Name: fmt.Sprintf("Beltway %d.%d", x, y),
+		Belts: []core.BeltSpec{
+			{IncrementFrac: frac(x), MaxIncrements: 1, PromoteTo: 1},
+			{IncrementFrac: frac(y), PromoteTo: 1},
+		},
+		NurseryFilter: true,
+	}
+	o.Apply(&c)
+	return c
+}
+
+func frac(percent int) float64 {
+	if percent <= 0 {
+		panic(fmt.Sprintf("collectors: non-positive increment percentage %d", percent))
+	}
+	if percent >= 100 {
+		return 1.0
+	}
+	return float64(percent) / 100.0
+}
+
+// WithCardBarrier returns a copy of cfg using card marking instead of
+// remembered sets (paper §5 discusses this alternative; see
+// core.CardBarrier). The name gains a "+cards" suffix.
+func WithCardBarrier(cfg core.Config) core.Config {
+	cfg.Barrier = core.CardBarrier
+	cfg.Name += "+cards"
+	return cfg
+}
+
+// New instantiates a collector from a configuration.
+func New(cfg core.Config, types *heap.Registry) (*core.Heap, error) {
+	return core.New(cfg, types)
+}

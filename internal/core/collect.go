@@ -1,0 +1,492 @@
+package core
+
+import (
+	"fmt"
+
+	"beltway/internal/gc"
+	"beltway/internal/heap"
+)
+
+// gcState carries the per-collection working set: the condemned
+// increments, the promotion targets resolved so far, and the Cheney scan
+// positions over every target increment.
+type gcState struct {
+	victims []*Increment
+	targets map[int]*Increment // source belt index -> receiving increment
+	mosDest map[int]*Increment // MOS train id -> open destination car
+	scans   []*scanState
+}
+
+// scanState is a Cheney scan pointer over one target increment. Newly
+// copied objects land at the increment's bump cursor; the scan chases the
+// cursor frame by frame until it catches up.
+type scanState struct {
+	in   *Increment
+	fi   int       // index into in.frames currently being scanned
+	addr heap.Addr // next object to scan within frame fi
+}
+
+// collect performs one stop-the-world collection of the given increments.
+// It is a Cheney copying collection whose root set is the mutator roots;
+// the remembered-set entries targeting the condemned frames (from
+// non-condemned frames) or, for card-marking configurations, the dirty
+// cards of every uncollected frame; and — for boundary-barrier
+// configurations — the entire boot image and large object space. When
+// every increment is condemned, the large object space is mark-swept
+// alongside the trace.
+func (h *Heap) collect(victims []*Increment) error {
+	if h.inGC {
+		panic("core: recursive collection")
+	}
+	h.inGC = true
+	defer func() { h.inGC = false }()
+
+	if h.hooks.PreGC != nil {
+		h.hooks.PreGC()
+	}
+	h.clock.BeginPause()
+	defer h.clock.EndPause()
+	h.clock.Advance(h.cfg.Costs.GCSetup)
+	h.gcCount++
+	c := &h.clock.Counters
+	c.Collections++
+
+	preOccupancy := h.LiveEstimate()
+	condemnedBytes := 0
+	for _, in := range victims {
+		in.condemned = true
+		condemnedBytes += in.bytes
+	}
+	if condemnedBytes >= preOccupancy && preOccupancy > 0 {
+		c.FullCollections++
+	}
+	// A collection condemning every increment traces all live data, so
+	// it can also mark-sweep the large object space.
+	total := 0
+	for _, b := range h.belts {
+		total += b.Len()
+	}
+	h.los.sweeping = len(h.los.objects) > 0 && len(victims) == total
+
+	st := &gcState{
+		victims: victims,
+		targets: make(map[int]*Increment),
+		mosDest: make(map[int]*Increment),
+	}
+
+	// 1. Mutator roots.
+	var gcErr error
+	h.roots.Walk(func(a heap.Addr) heap.Addr {
+		c.RootsScanned++
+		h.clock.Advance(h.cfg.Costs.RootSlot)
+		if gcErr != nil || !h.isCondemned(a) {
+			h.markLOS(a)
+			return a
+		}
+		na, err := h.forward(a, st, nil)
+		if err != nil {
+			gcErr = err
+			return a
+		}
+		return na
+	})
+	if gcErr != nil {
+		return gcErr
+	}
+
+	// 2. Boot image scan (boundary-barrier configurations only): the
+	// cheap boundary barrier does not remember boot-image stores, so —
+	// as the paper notes of Appel's collector — the whole boot image is
+	// scanned at every collection.
+	if h.cfg.Barrier == BoundaryBarrier {
+		if err := h.scanBootImage(st); err != nil {
+			return err
+		}
+	}
+
+	// 3. Pointers into the condemned set from the rest of the heap:
+	// dirty-card scanning for card-marking configurations, remembered
+	// sets otherwise (entries from non-condemned frames into condemned
+	// frames; sets between two condemned frames are ignored wholesale,
+	// §3.3.2).
+	if h.cfg.Barrier == CardBarrier {
+		if err := h.scanDirtyCards(st); err != nil {
+			return err
+		}
+	}
+	slots := h.rems.CollectRoots(h.frameCondemned)
+	for _, slotAddr := range slots {
+		c.RemsetEntriesGC++
+		h.clock.Advance(h.cfg.Costs.RemsetEntry)
+		val := heap.Addr(h.space.Word(slotAddr))
+		if val == heap.Nil || !h.isCondemned(val) {
+			if val != heap.Nil {
+				h.markLOS(val)
+			}
+			continue // stale entry: the slot was overwritten since insertion
+		}
+		var ctx *Increment
+		if f := h.space.FrameOf(slotAddr); int(f) < len(h.incrOf) {
+			ctx = h.incrOf[f]
+		}
+		nv, err := h.forward(val, st, ctx)
+		if err != nil {
+			return err
+		}
+		h.space.SetWord(slotAddr, uint32(nv))
+		h.rescanSlot(slotAddr, nv)
+	}
+
+	// 4. Cheney transitive closure over all target increments,
+	// interleaved with large-object marking during full collections.
+	for {
+		if err := h.drainScans(st); err != nil {
+			return err
+		}
+		adv, err := h.drainLOSQueue(st)
+		if err != nil {
+			return err
+		}
+		if !adv {
+			break
+		}
+	}
+
+	// 5. Release the condemned increments: delete their remsets, unmap
+	// their frames, drop them from their belts.
+	for _, in := range victims {
+		for _, f := range in.frames {
+			h.rems.DeleteFrame(f)
+			h.space.UnmapFrame(f)
+			h.incrOf[f] = nil
+			h.stamp[f] = 0
+			h.fill[f] = heap.Nil
+			h.heapFrames--
+			h.clock.Advance(h.cfg.Costs.FrameOp)
+		}
+		h.belts[in.belt].remove(in)
+	}
+
+	h.sweepLOS()
+
+	h.recomputeReserve()
+	h.inGC = false // the heap is consistent again; hooks may inspect it
+	if h.hooks.PostGC != nil {
+		h.hooks.PostGC()
+	}
+	return nil
+}
+
+// isCondemned reports whether address a lies in a condemned increment.
+func (h *Heap) isCondemned(a heap.Addr) bool {
+	f := h.space.FrameOf(a)
+	if int(f) >= len(h.incrOf) {
+		return false
+	}
+	in := h.incrOf[f]
+	return in != nil && in.condemned
+}
+
+// frameCondemned reports whether frame f belongs to a condemned increment.
+func (h *Heap) frameCondemned(f heap.Frame) bool {
+	if int(f) >= len(h.incrOf) {
+		return false
+	}
+	in := h.incrOf[f]
+	return in != nil && in.condemned
+}
+
+// forward copies the condemned object at a to its promotion target
+// (installing a forwarding pointer), or returns the existing forwarding
+// address if it was already copied.
+// ctx is the increment holding the reference that led here (nil for
+// roots and the boot image); MOS belts evacuate by referrer.
+func (h *Heap) forward(a heap.Addr, st *gcState, ctx *Increment) (heap.Addr, error) {
+	if h.space.Forwarded(a) {
+		return h.space.Forwarding(a), nil
+	}
+	src := h.incrOf[h.space.FrameOf(a)]
+	if src == nil || !src.condemned {
+		panic(fmt.Sprintf("core: forward of non-condemned object at %v", a))
+	}
+	size := h.space.SizeOf(a)
+	var dst heap.Addr
+	var err error
+	if h.cfg.MOS && src.belt == h.mosBelt() {
+		car := h.mosDestination(src, ctx, st)
+		dst, err = h.bumpIntoCar(car, size, st)
+	} else {
+		dst, err = h.gcBump(src.belt, size, st)
+	}
+	if err != nil {
+		return heap.Nil, err
+	}
+	h.space.CopyObject(a, dst)
+	h.space.SetForwarding(a, dst)
+	c := &h.clock.Counters
+	c.ObjectsCopied++
+	c.BytesCopied += uint64(size)
+	h.clock.Advance(h.cfg.Costs.CopyByte * float64(size))
+	if h.hooks.Moved != nil {
+		h.hooks.Moved(a, dst)
+	}
+	return dst, nil
+}
+
+// gcBump allocates size bytes in the promotion target of srcBelt, opening
+// new frames (and, past a bounded target's capacity, new increments) from
+// the copy reserve. It registers every target increment with the scan
+// list exactly once.
+func (h *Heap) gcBump(srcBelt, size int, st *gcState) (heap.Addr, error) {
+	in := st.targets[srcBelt]
+	if in == nil {
+		in = h.resolveTarget(srcBelt, st)
+	}
+	for {
+		if in.cursor != heap.Nil && in.cursor+heap.Addr(size) <= in.limit {
+			return h.bump(in, size), nil
+		}
+		if !in.atCapacity() {
+			if err := h.gcAddFrame(in); err != nil {
+				return heap.Nil, err
+			}
+			continue
+		}
+		// Target increment full: open a fresh increment on the same
+		// belt (same train, for MOS cars) for the remaining survivors.
+		if h.cfg.MOS && in.belt == h.mosBelt() {
+			in = h.newMOSCar(in.train)
+			st.mosDest[in.train] = in
+		} else {
+			in = h.newIncrement(h.belts[in.belt])
+		}
+		st.targets[srcBelt] = in
+		h.registerScan(in, st)
+	}
+}
+
+// resolveTarget picks (or creates) the receiving increment for survivors
+// of srcBelt: the youngest non-condemned increment of the promotion
+// target belt, per the paper's promotion rule.
+func (h *Heap) resolveTarget(srcBelt int, st *gcState) *Increment {
+	tbIdx := h.belts[srcBelt].promoteTo
+	if h.cfg.MOS && tbIdx == h.mosBelt() {
+		// Promotion into the mature space enters the last train, or a
+		// fresh train once the last one has its fill of cars.
+		var in *Increment
+		if lt := h.lastTrain(); lt >= 0 && len(h.trainCars(lt)) < h.mos.carsPerTrain {
+			in = h.mosTargetCar(lt, st)
+		} else {
+			in = h.mosTargetCar(-1, st)
+		}
+		st.targets[srcBelt] = in
+		return in
+	}
+	tb := h.belts[tbIdx]
+	var in *Increment
+	if y := tb.Youngest(); y != nil && !y.condemned {
+		in = y
+	} else {
+		in = h.newIncrement(tb)
+	}
+	st.targets[srcBelt] = in
+	h.registerScan(in, st)
+	return in
+}
+
+// registerScan adds a Cheney scan pointer for target increment in,
+// starting at its current bump position. Objects already present in the
+// increment are not rescanned: whether they were copied there by an
+// earlier collection or bump-allocated by the mutator (as in older-first
+// mix, where allocation and copies share an increment), every interesting
+// pointer they hold is already in a remembered set, so only objects
+// copied during THIS collection need scanning.
+func (h *Heap) registerScan(in *Increment, st *gcState) {
+	for _, s := range st.scans {
+		if s.in == in {
+			return
+		}
+	}
+	s := &scanState{in: in}
+	if len(in.frames) == 0 {
+		s.fi = 0
+		s.addr = heap.Nil
+	} else {
+		s.fi = len(in.frames) - 1
+		s.addr = in.cursor
+	}
+	st.scans = append(st.scans, s)
+}
+
+// drainScans runs all Cheney scan pointers to fixpoint.
+func (h *Heap) drainScans(st *gcState) error {
+	for {
+		progress := false
+		for _, s := range st.scans {
+			adv, err := h.advanceScan(s, st)
+			if err != nil {
+				return err
+			}
+			progress = progress || adv
+		}
+		if !progress {
+			return nil
+		}
+	}
+}
+
+// advanceScan scans as many objects as are currently available to s,
+// reporting whether it advanced at all.
+func (h *Heap) advanceScan(s *scanState, st *gcState) (bool, error) {
+	advanced := false
+	for {
+		in := s.in
+		if len(in.frames) == 0 {
+			return advanced, nil
+		}
+		if s.addr == heap.Nil {
+			// Scan was registered before the increment had frames.
+			s.fi = 0
+			s.addr = h.space.FrameBase(in.frames[0])
+		}
+		f := in.frames[s.fi]
+		if s.addr < h.fill[f] {
+			if err := h.scanObject(s.addr, st); err != nil {
+				return advanced, err
+			}
+			s.addr += heap.Addr(h.space.SizeOf(s.addr))
+			advanced = true
+			continue
+		}
+		if s.fi < len(in.frames)-1 {
+			s.fi++
+			s.addr = h.space.FrameBase(in.frames[s.fi])
+			continue
+		}
+		return advanced, nil // caught up with the bump cursor
+	}
+}
+
+// scanObject processes the reference slots of one newly copied object:
+// condemned referents are forwarded, and every slot is re-tested against
+// the barrier rule because the object now lives in a new frame.
+func (h *Heap) scanObject(obj heap.Addr, st *gcState) error {
+	c := &h.clock.Counters
+	n := h.space.NumRefs(obj)
+	for i := 0; i < n; i++ {
+		c.SlotsScanned++
+		h.clock.Advance(h.cfg.Costs.ScanSlot)
+		val := h.space.GetRef(obj, i)
+		if val == heap.Nil {
+			continue
+		}
+		if h.isCondemned(val) {
+			ctx := h.incrOf[h.space.FrameOf(obj)]
+			nv, err := h.forward(val, st, ctx)
+			if err != nil {
+				return err
+			}
+			h.space.SetRef(obj, i, nv)
+			val = nv
+		} else {
+			h.markLOS(val)
+		}
+		h.rescanSlot(h.space.RefSlotAddr(obj, i), val)
+	}
+	return nil
+}
+
+// scanBootImage walks every boot-image object, forwarding condemned
+// referents. Boundary-barrier collectors pay this cost at every
+// collection in exchange for their cheaper barrier.
+func (h *Heap) scanBootImage(st *gcState) error {
+	c := &h.clock.Counters
+	c.BootBytesScanned += uint64(h.boot.bytes)
+	h.clock.Advance(h.cfg.Costs.BootScanByte * float64(h.boot.bytes))
+	for _, f := range h.boot.frames {
+		base := h.space.FrameBase(f)
+		limit := h.fill[f]
+		var err error
+		h.space.WalkObjects(base, limit, func(obj heap.Addr) bool {
+			n := h.space.NumRefs(obj)
+			for i := 0; i < n; i++ {
+				val := h.space.GetRef(obj, i)
+				if val == heap.Nil {
+					continue
+				}
+				if !h.isCondemned(val) {
+					h.markLOS(val)
+					continue
+				}
+				var nv heap.Addr
+				nv, err = h.forward(val, st, nil)
+				if err != nil {
+					return false
+				}
+				h.space.SetRef(obj, i, nv)
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	// The boundary barrier does not remember large-object stores either;
+	// scan every LOS object's slots like the boot image.
+	for _, lo := range h.los.objects {
+		n := h.space.NumRefs(lo.addr)
+		for i := 0; i < n; i++ {
+			h.clock.Advance(h.cfg.Costs.ScanSlot)
+			val := h.space.GetRef(lo.addr, i)
+			if val == heap.Nil || !h.isCondemned(val) {
+				continue
+			}
+			nv, err := h.forward(val, st, nil)
+			if err != nil {
+				return err
+			}
+			h.space.SetRef(lo.addr, i, nv)
+		}
+	}
+	return nil
+}
+
+// gcAddFrame maps a frame for a copy target. Copy frames draw on the
+// reserve, so the mutator budget does not apply, but two hard caps do:
+//
+//   - the whole-heap cap catches reserve-accounting bugs (the total may
+//     exceed the heap budget only by the per-belt packing slack);
+//
+//   - a per-belt cap enforces other belts' permanent reservations
+//     (BeltSpec.ReserveFrac): a classic fixed-size-nursery collector
+//     fails — as the paper's do in Figure 6 — when survivors no longer
+//     fit beside the reserved nursery.
+func (h *Heap) gcAddFrame(in *Increment) error {
+	limit := h.cfg.HeapBytes + (len(h.belts)+2)*h.cfg.FrameBytes
+	if (h.heapFrames+1)*h.cfg.FrameBytes > limit {
+		return &gc.OOMError{HeapBytes: h.cfg.HeapBytes,
+			Detail: fmt.Sprintf("%s: copy reserve exhausted during collection", h.cfg.Name)}
+	}
+	otherReserve := 0.0
+	for i, b := range h.belts {
+		if i != in.belt {
+			otherReserve += b.spec.ReserveFrac
+		}
+	}
+	if otherReserve > 0 {
+		usable := h.cfg.HeapBytes - h.reserveBytes
+		beltCap := int((1-otherReserve)*float64(usable))/h.cfg.FrameBytes + 1
+		held := 0
+		for _, incr := range h.belts[in.belt].incrs {
+			if !incr.condemned { // condemned increments are being evacuated
+				held += len(incr.frames)
+			}
+		}
+		if held+1 > beltCap {
+			return &gc.OOMError{HeapBytes: h.cfg.HeapBytes,
+				Detail: fmt.Sprintf("%s: survivors exceed the space left by reserved belts", h.cfg.Name)}
+		}
+	}
+	h.addFrame(in)
+	return nil
+}

@@ -1,0 +1,242 @@
+// Package core implements the Beltway garbage collection framework of
+// Blackburn, Jones, McKinley and Moss (PLDI 2002): belts of FIFO
+// increments over power-of-two frames, the unidirectional frame write
+// barrier (paper Figure 4), per-frame-pair remembered sets, collection
+// triggers, and the dynamic conservative copy reserve. Every copying
+// collector in the paper — semi-space, Appel-style generational,
+// older-first mix, older-first, Beltway X.X and Beltway X.X.100 — is a
+// configuration of this one engine (see internal/collectors for the
+// presets).
+package core
+
+import (
+	"fmt"
+
+	"beltway/internal/stats"
+)
+
+// BarrierKind selects the write-barrier mechanism and its cost profile.
+type BarrierKind uint8
+
+const (
+	// FrameBarrier is Beltway's shift-and-compare barrier over frame
+	// collection-order stamps (paper Figure 4). Stores out of the boot
+	// image are remembered like any others.
+	FrameBarrier BarrierKind = iota
+	// BoundaryBarrier models the classic generational boundary-crossing
+	// barrier used by the paper's Appel-style baseline: a cheaper fast
+	// path, but the boot image must be scanned in full at every
+	// collection because boot-image stores are not remembered.
+	BoundaryBarrier
+	// CardBarrier replaces remembered sets with card marking (paper §5):
+	// the cheapest possible store barrier — unconditionally dirty the
+	// 512-byte card holding the slot — paid for by scanning every dirty
+	// card of every uncollected frame at each collection.
+	CardBarrier
+)
+
+func (b BarrierKind) String() string {
+	switch b {
+	case BoundaryBarrier:
+		return "boundary"
+	case CardBarrier:
+		return "card"
+	default:
+		return "frame"
+	}
+}
+
+// Options carries the run-scoped parameters shared by every preset
+// configuration (see internal/collectors and internal/generational).
+type Options struct {
+	HeapBytes    int
+	FrameBytes   int
+	PhysMemBytes int // 0 disables the paging model
+}
+
+// Apply copies the options into a configuration.
+func (o Options) Apply(c *Config) {
+	c.HeapBytes = o.HeapBytes
+	c.FrameBytes = o.FrameBytes
+	c.PhysMemBytes = o.PhysMemBytes
+}
+
+// BeltSpec configures one belt.
+type BeltSpec struct {
+	// IncrementFrac is the maximum increment size X as a fraction of
+	// usable memory (heap minus copy reserve), fixed when the increment
+	// is created. A value >= 1 means increments are unbounded and grow
+	// until the heap-full condition triggers a collection — the belts of
+	// BSS, BA2 and the third belt of Beltway X.X.100 work this way.
+	IncrementFrac float64
+
+	// MaxIncrements bounds the number of increments simultaneously on
+	// the belt; 0 means unbounded. Setting 1 on the nursery belt is the
+	// paper's nursery trigger (§3.3.3): allocation that would need a
+	// second increment collects the first instead.
+	MaxIncrements int
+
+	// PromoteTo is the belt index that receives this belt's survivors.
+	// A belt may promote to itself (semi-space, older-first mix, and the
+	// top belt of every configuration).
+	PromoteTo int
+
+	// ReserveFrac permanently sets aside this fraction of usable memory
+	// for the belt: other belts may not grow into it even while it is
+	// unused. This models the classic fixed-size-nursery reservation,
+	// whose cost in tight heaps Figure 6 demonstrates ("the reservation
+	// of a fixed proportion of the heap for the nursery significantly
+	// impacts the collector's capacity to perform in tight heaps").
+	// Zero (the default, used by all Beltway configurations) reserves
+	// nothing.
+	ReserveFrac float64
+}
+
+// Config describes a complete Beltway collector configuration. It is the
+// programmatic form of the paper's command-line options.
+type Config struct {
+	// Name is the display name, e.g. "Beltway 25.25.100".
+	Name string
+
+	// HeapBytes is the collected-heap budget (excluding the immortal
+	// boot-image space), the x-axis of every figure in the paper.
+	HeapBytes int
+
+	// FrameBytes is the power-of-two frame size.
+	FrameBytes int
+
+	// Belts, lowest (youngest) first. Belt 0 receives allocation unless
+	// OlderFirst rotates the roles.
+	Belts []BeltSpec
+
+	// Barrier selects frame vs boundary barrier (see BarrierKind).
+	Barrier BarrierKind
+
+	// OlderFirst enables BOF belt flipping: when the allocation belt
+	// runs empty at a heap-full event, the two belts swap roles and the
+	// frame collection-order stamps are renumbered.
+	OlderFirst bool
+
+	// NurseryFilter enables the §3.3.2 optimization that filters barrier
+	// work for stores whose source is in the nursery (profitable with a
+	// single nursery increment; affects barrier cost accounting only,
+	// since nursery-sourced stores are never remembered anyway).
+	NurseryFilter bool
+
+	// TTDBytes enables the time-to-die trigger (§3.3.3): when the heap
+	// is within TTDBytes of full, allocation switches to a fresh nursery
+	// increment so that the most recently allocated TTDBytes are not
+	// condemned by the next nursery collection. Zero disables.
+	TTDBytes int
+
+	// FixedHalfReserve pins the copy reserve at half the heap, as the
+	// classical semi-space and generational implementations do (§3.1:
+	// "Classical generational and semi-space collectors must reserve
+	// half the heap"). Beltway configurations leave it false and use the
+	// dynamic conservative reserve of §3.3.4.
+	FixedHalfReserve bool
+
+	// RemsetThreshold enables the remset trigger (§3.3.3): when the
+	// number of remembered entries targeting a collectible increment
+	// exceeds this value, that increment is collected at the next poll.
+	// Zero disables.
+	RemsetThreshold int
+
+	// MOS turns the top belt into a Mature Object Space (train
+	// algorithm) belt — the paper's §5 future-work extension giving
+	// completeness without full-heap collections. Requires the frame
+	// barrier, a bounded top-belt increment size (the car size), and a
+	// self-promoting top belt. See internal/core/mos.go.
+	MOS bool
+
+	// MOSCarsPerTrain bounds how many cars the last train accepts for
+	// promotions before a fresh train is opened; 0 means the default 4.
+	MOSCarsPerTrain int
+
+	// LOSThresholdBytes routes objects larger than this to the large
+	// object space (non-moving frame spans, swept at full collections).
+	// Zero disables the LOS, as in the paper's GCTk, and objects must
+	// then fit in one frame.
+	LOSThresholdBytes int
+
+	// PretenureBelt is the belt that receives pretenured allocations
+	// (AllocPretenured) — §5's segregation by allocation site, "e.g.,
+	// segregation of long-lived, immortal, or immutable objects".
+	// Zero/negative means the top belt.
+	PretenureBelt int
+
+	// Costs is the cost model; zero value means stats.DefaultCosts().
+	Costs stats.CostModel
+
+	// PhysMemBytes models the machine's physical memory for the paging
+	// term of the cost model (paper Figure 1(b): large heaps page).
+	// Zero disables paging charges.
+	PhysMemBytes int
+}
+
+// Validate checks structural invariants of the configuration.
+func (c *Config) Validate() error {
+	if c.HeapBytes <= 0 {
+		return fmt.Errorf("core: non-positive heap size %d", c.HeapBytes)
+	}
+	if c.FrameBytes < 256 || c.FrameBytes&(c.FrameBytes-1) != 0 {
+		return fmt.Errorf("core: frame size %d not a power of two >= 256", c.FrameBytes)
+	}
+	if c.HeapBytes < 4*c.FrameBytes {
+		return fmt.Errorf("core: heap %d too small for frame size %d (need >= 4 frames)",
+			c.HeapBytes, c.FrameBytes)
+	}
+	if len(c.Belts) == 0 {
+		return fmt.Errorf("core: no belts configured")
+	}
+	for i, b := range c.Belts {
+		if b.IncrementFrac <= 0 {
+			return fmt.Errorf("core: belt %d: non-positive increment fraction %v", i, b.IncrementFrac)
+		}
+		if b.PromoteTo < 0 || b.PromoteTo >= len(c.Belts) {
+			return fmt.Errorf("core: belt %d: promotion target %d out of range", i, b.PromoteTo)
+		}
+		if b.PromoteTo < i && !c.OlderFirst {
+			return fmt.Errorf("core: belt %d: demotion to belt %d is not supported", i, b.PromoteTo)
+		}
+		if b.MaxIncrements < 0 {
+			return fmt.Errorf("core: belt %d: negative MaxIncrements", i)
+		}
+		if b.ReserveFrac < 0 || b.ReserveFrac >= 1 {
+			return fmt.Errorf("core: belt %d: ReserveFrac %v out of [0,1)", i, b.ReserveFrac)
+		}
+	}
+	if c.OlderFirst && len(c.Belts) != 2 {
+		return fmt.Errorf("core: older-first requires exactly 2 belts, have %d", len(c.Belts))
+	}
+	if c.TTDBytes < 0 || c.RemsetThreshold < 0 {
+		return fmt.Errorf("core: negative trigger parameter")
+	}
+	if c.LOSThresholdBytes < 0 {
+		return fmt.Errorf("core: negative LOS threshold")
+	}
+	if c.PretenureBelt >= len(c.Belts) {
+		return fmt.Errorf("core: pretenure belt %d out of range", c.PretenureBelt)
+	}
+	if c.MOS {
+		last := len(c.Belts) - 1
+		switch {
+		case len(c.Belts) < 2:
+			return fmt.Errorf("core: MOS requires at least two belts")
+		case c.Belts[last].IncrementFrac >= 1:
+			return fmt.Errorf("core: MOS requires bounded cars (top belt IncrementFrac < 1)")
+		case c.Belts[last].PromoteTo != last:
+			return fmt.Errorf("core: MOS top belt must promote to itself")
+		case c.Barrier != FrameBarrier:
+			return fmt.Errorf("core: MOS requires the frame barrier")
+		case c.OlderFirst:
+			return fmt.Errorf("core: MOS and older-first are mutually exclusive")
+		case c.MOSCarsPerTrain < 0:
+			return fmt.Errorf("core: negative MOSCarsPerTrain")
+		}
+	}
+	return nil
+}
+
+// isZeroCosts reports whether the cost model was left unset.
+func isZeroCosts(c stats.CostModel) bool { return c == stats.CostModel{} }

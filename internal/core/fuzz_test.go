@@ -1,0 +1,172 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"beltway/internal/core"
+	"beltway/internal/gc"
+	"beltway/internal/heap"
+	"beltway/internal/vm"
+)
+
+// randomConfig generates a random legal Beltway configuration: 1-4
+// belts, random increment fractions, bounded or unbounded nurseries,
+// random upward promotion edges, random barrier, random trigger and
+// extension settings.
+func randomConfig(rng *rand.Rand) core.Config {
+	nBelts := 1 + rng.Intn(4)
+	cfg := core.Config{
+		HeapBytes:  (384 + rng.Intn(384)) * 1024,
+		FrameBytes: 4096,
+	}
+	for i := 0; i < nBelts; i++ {
+		spec := core.BeltSpec{PromoteTo: i}
+		if i < nBelts-1 {
+			spec.PromoteTo = i + 1 + rng.Intn(nBelts-i-1)
+		}
+		switch rng.Intn(3) {
+		case 0:
+			spec.IncrementFrac = 1.0
+		case 1:
+			spec.IncrementFrac = 0.1 + 0.4*rng.Float64()
+		default:
+			spec.IncrementFrac = 0.2 + 0.6*rng.Float64()
+		}
+		if i == 0 && rng.Intn(2) == 0 {
+			spec.MaxIncrements = 1
+		}
+		cfg.Belts = append(cfg.Belts, spec)
+	}
+	switch rng.Intn(3) {
+	case 0:
+		cfg.Barrier = core.FrameBarrier
+	case 1:
+		cfg.Barrier = core.BoundaryBarrier
+	default:
+		cfg.Barrier = core.CardBarrier
+	}
+	if cfg.Barrier == core.FrameBarrier && rng.Intn(2) == 0 {
+		cfg.NurseryFilter = true
+	}
+	if rng.Intn(3) == 0 {
+		cfg.TTDBytes = cfg.HeapBytes / 16
+	}
+	if rng.Intn(4) == 0 {
+		cfg.RemsetThreshold = 200 + rng.Intn(2000)
+	}
+	if rng.Intn(3) == 0 {
+		cfg.LOSThresholdBytes = cfg.FrameBytes / 2
+	}
+	// MOS when the top belt qualifies.
+	last := nBelts - 1
+	if nBelts >= 2 && cfg.Barrier == core.FrameBarrier &&
+		cfg.Belts[last].IncrementFrac < 1 && rng.Intn(3) == 0 {
+		cfg.MOS = true
+		cfg.MOSCarsPerTrain = 2 + rng.Intn(4)
+	}
+	// Older-first (BOF) for two-belt windowed configs.
+	if nBelts == 2 && !cfg.MOS && rng.Intn(5) == 0 {
+		cfg.OlderFirst = true
+		cfg.Belts[0] = core.BeltSpec{IncrementFrac: 0.15 + 0.3*rng.Float64(), PromoteTo: 1}
+		cfg.Belts[1] = core.BeltSpec{IncrementFrac: cfg.Belts[0].IncrementFrac, PromoteTo: 0}
+		cfg.TTDBytes = 0
+	}
+	cfg.Name = fmt.Sprintf("fuzz-%d-belts-%s", nBelts, cfg.Barrier)
+	return cfg
+}
+
+// TestRandomConfigurations generates dozens of random configurations and
+// drives each with a random mutator under the shadow-graph oracle and
+// the structural invariant checker. This is the framework-generality
+// claim put under fuzz: ANY legal belt structure must collect correctly.
+func TestRandomConfigurations(t *testing.T) {
+	const configs = 40
+	for seed := 0; seed < configs; seed++ {
+		seed := seed
+		t.Run(fmt.Sprint(seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(seed)))
+			cfg := randomConfig(rng)
+			if err := cfg.Validate(); err != nil {
+				t.Fatalf("generated invalid config: %v\n%+v", err, cfg)
+			}
+			types := heap.NewRegistry()
+			h, err := core.New(cfg, types)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var invErr error
+			checkEvery := 0
+			m := vm.New(h)
+			m.EnableValidation()
+			// The validator replaced hooks; layer the invariant check on
+			// top of its PostGC by re-wrapping.
+			if hk, ok := interface{}(h).(gc.Hookable); ok {
+				v := m.V
+				hk.SetHooks(gc.Hooks{PostGC: func() {
+					if err := v.Check(); err != nil {
+						panic(err)
+					}
+					checkEvery++
+					if checkEvery%4 == 0 && invErr == nil {
+						invErr = h.CheckInvariants()
+					}
+				}})
+			}
+
+			node := types.DefineScalar("fz", 2, 2)
+			arr := types.DefineRefArray("fzarr")
+			var live []gc.Handle
+			err = m.Run(func() {
+				live = append(live, m.Alloc(node, 0))
+				for op := 0; op < 12000; op++ {
+					switch r := rng.Intn(12); {
+					case r < 6:
+						live = append(live, m.Alloc(node, 0))
+					case r == 6:
+						n := 1 + rng.Intn(20)
+						if cfg.LOSThresholdBytes > 0 && rng.Intn(8) == 0 {
+							n = 600 + rng.Intn(900) // large object
+						}
+						live = append(live, m.Alloc(arr, n))
+					case r == 7 && len(live) > 2:
+						src, dst := live[rng.Intn(len(live))], live[rng.Intn(len(live))]
+						slots := 2
+						if m.TypeOf(src) == arr {
+							slots = m.Length(src)
+						}
+						if slots > 0 {
+							m.SetRef(src, rng.Intn(slots), dst)
+						}
+					case r == 8:
+						live = append(live, m.AllocPretenuredGlobal(node, 0))
+					case r == 9 && rng.Intn(6) == 0:
+						m.Collect(rng.Intn(8) == 0)
+					default:
+						if len(live) > 4 {
+							i := rng.Intn(len(live))
+							m.Release(live[i])
+							live[i] = live[len(live)-1]
+							live = live[:len(live)-1]
+						}
+					}
+					for len(live) > 400 {
+						i := rng.Intn(len(live))
+						m.Release(live[i])
+						live[i] = live[len(live)-1]
+						live = live[:len(live)-1]
+					}
+				}
+			})
+			if err != nil {
+				// Random tight configs may legitimately OOM; that is a
+				// valid outcome, not a correctness failure.
+				t.Logf("%s: %v", cfg.Name, err)
+			}
+			if invErr != nil {
+				t.Fatalf("%s: %v", cfg.Name, invErr)
+			}
+		})
+	}
+}

@@ -1,0 +1,399 @@
+package core
+
+import (
+	"fmt"
+
+	"beltway/internal/gc"
+	"beltway/internal/heap"
+	"beltway/internal/remset"
+	"beltway/internal/stats"
+)
+
+// Heap is a complete Beltway collector instance: the simulated address
+// space, the belts and their increments, per-frame metadata (collection
+// order stamps), the remembered-set table, and the cost-model clock.
+// It implements gc.Collector.
+type Heap struct {
+	cfg   Config
+	space *heap.Space
+	clock *stats.Clock
+	rems  *remset.Table
+	roots *gc.RootSet
+	hooks gc.Hooks
+
+	belts     []*Belt
+	allocBelt int // index of the belt receiving new allocation
+
+	// Per-frame metadata, indexed by heap.Frame. Grown on demand.
+	stamp    []uint64     // collection-order stamp (immortalStamp for boot frames)
+	incrOf   []*Increment // owning increment; nil for immortal/unmapped
+	immortal []bool
+	fill     []heap.Addr // bump high-water mark per frame
+	cards    []bool      // dirty-card table (CardBarrier only), indexed by addr >> cardShift
+
+	heapFrames int // currently mapped collectible frames
+
+	boot struct {
+		cursor heap.Addr
+		limit  heap.Addr
+		frames []heap.Frame
+		bytes  int
+	}
+
+	reserveBytes int // current dynamic conservative copy reserve
+	serial       uint32
+	inGC         bool
+	gcCount      uint64
+	remsetPoll   int // allocation counter throttling the remset trigger poll
+	mos          mosState
+	los          losState
+}
+
+// New builds a collector from cfg. The type registry is shared with the
+// mutator that will drive the heap.
+func New(cfg Config, types *heap.Registry) (*Heap, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if isZeroCosts(cfg.Costs) {
+		cfg.Costs = stats.DefaultCosts()
+	}
+	h := &Heap{
+		cfg:   cfg,
+		space: heap.NewSpace(cfg.FrameBytes, types),
+		clock: stats.NewClock(cfg.Costs),
+		rems:  remset.NewTable(),
+		roots: gc.NewRootSet(),
+	}
+	h.space.OnMap = func() { h.clock.Counters.FramesMapped++ }
+	h.space.OnUnmap = func() { h.clock.Counters.FramesUnmapped++ }
+	for i, spec := range cfg.Belts {
+		h.belts = append(h.belts, &Belt{spec: spec, priority: uint16(i), promoteTo: spec.PromoteTo})
+	}
+	h.mos.carsPerTrain = cfg.MOSCarsPerTrain
+	if h.mos.carsPerTrain == 0 {
+		h.mos.carsPerTrain = 4
+	}
+	h.recomputeReserve()
+	return h, nil
+}
+
+// Name implements gc.Collector.
+func (h *Heap) Name() string { return h.cfg.Name }
+
+// Config returns the collector's configuration.
+func (h *Heap) Config() Config { return h.cfg }
+
+// Clock implements gc.Collector.
+func (h *Heap) Clock() *stats.Clock { return h.clock }
+
+// Roots implements gc.Collector.
+func (h *Heap) Roots() *gc.RootSet { return h.roots }
+
+// Space implements gc.Collector.
+func (h *Heap) Space() *heap.Space { return h.space }
+
+// HeapBytes implements gc.Collector.
+func (h *Heap) HeapBytes() int { return h.cfg.HeapBytes }
+
+// Remsets exposes the remembered-set table (tests and stats).
+func (h *Heap) Remsets() *remset.Table { return h.rems }
+
+// Belts returns the live belt structures (inspection only).
+func (h *Heap) Belts() []*Belt { return h.belts }
+
+// AllocBeltIndex returns the index of the current allocation belt (it
+// changes only under BOF flips).
+func (h *Heap) AllocBeltIndex() int { return h.allocBelt }
+
+// ReserveBytes returns the current dynamic copy reserve.
+func (h *Heap) ReserveBytes() int { return h.reserveBytes }
+
+// LiveEstimate implements gc.Collector: bytes occupied by objects in the
+// collected space (survivors plus not-yet-collected garbage).
+func (h *Heap) LiveEstimate() int {
+	n := 0
+	for _, b := range h.belts {
+		n += b.Bytes()
+	}
+	return n
+}
+
+// SetHooks implements gc.Hookable.
+func (h *Heap) SetHooks(hooks gc.Hooks) { h.hooks = hooks }
+
+// FootprintBytes returns the mapped memory footprint (heap + boot image),
+// the quantity compared against physical memory by the paging model.
+func (h *Heap) FootprintBytes() int {
+	return (h.heapFrames + len(h.boot.frames)) * h.cfg.FrameBytes
+}
+
+// freeBudgetBytes returns how many bytes of new frames the mutator may
+// still map before the heap-full condition: budget minus mapped frames
+// minus the copy reserve.
+func (h *Heap) freeBudgetBytes() int {
+	return h.cfg.HeapBytes - h.heapFrames*h.cfg.FrameBytes - h.reserveBytes
+}
+
+// freeBudgetFor is freeBudgetBytes as seen by an allocation into belt
+// `forBelt`: the unclaimed portion of every OTHER belt's permanent
+// reservation (BeltSpec.ReserveFrac) is unavailable, while the
+// requesting belt may draw on its own.
+func (h *Heap) freeBudgetFor(forBelt int) int {
+	free := h.freeBudgetBytes()
+	usable := h.cfg.HeapBytes - h.reserveBytes
+	for i, b := range h.belts {
+		rf := b.spec.ReserveFrac
+		if rf <= 0 || i == forBelt {
+			continue
+		}
+		held := 0
+		for _, in := range b.incrs {
+			held += len(in.frames) * h.cfg.FrameBytes
+		}
+		if reserved := int(rf * float64(usable)); reserved > held {
+			free -= reserved - held
+		}
+	}
+	return free
+}
+
+// ensureFrameMeta grows the per-frame metadata tables to cover f.
+func (h *Heap) ensureFrameMeta(f heap.Frame) {
+	for int(f) >= len(h.stamp) {
+		h.stamp = append(h.stamp, 0)
+		h.incrOf = append(h.incrOf, nil)
+		h.immortal = append(h.immortal, false)
+		h.fill = append(h.fill, heap.Nil)
+	}
+	if h.cfg.Barrier == CardBarrier {
+		h.ensureCards(f)
+		h.clearFrameCards(f)
+	}
+}
+
+// Alloc implements gc.Collector. It bump-allocates size bytes in the
+// allocation belt, triggering collections per the configuration's
+// scheduling rules when space runs out.
+func (h *Heap) Alloc(t *heap.TypeDesc, length int) (heap.Addr, error) {
+	size := t.Size(length)
+	if th := h.losThreshold(); th > 0 && size > th {
+		return h.allocLOS(t, length, size)
+	}
+	if size > h.cfg.FrameBytes {
+		return heap.Nil, fmt.Errorf("core: object of %d bytes exceeds frame size %d (enable the LOS via LOSThresholdBytes)", size, h.cfg.FrameBytes)
+	}
+	c := &h.clock.Counters
+	c.ObjectsAllocated++
+	c.BytesAllocated += uint64(size)
+	// AllocByte covers zeroing and header init; BarrierFast models the
+	// TIB-initialization store every Jikes allocation performs (§3.3.2).
+	h.clock.Advance(h.cfg.Costs.AllocByte*float64(size) + h.cfg.Costs.BarrierFast)
+	h.chargePaging(size)
+
+	// The remset trigger preempts collections even before the heap
+	// fills. Polling is throttled: the precise per-increment count walks
+	// the remset table, so it runs at most once per 64 allocations.
+	if h.cfg.RemsetThreshold > 0 {
+		h.remsetPoll++
+		if h.remsetPoll >= 64 {
+			h.remsetPoll = 0
+			if _, err := h.pollRemsetTrigger(); err != nil {
+				return heap.Nil, err
+			}
+		}
+	}
+
+	// A tight heap may need several incremental collections (nursery,
+	// then belt-1 increments in FIFO order, then the top belt) before a
+	// frame frees, so the retry bound scales with the number of live
+	// increments.
+	maxAttempts := 4 + 2*len(h.belts)
+	for _, b := range h.belts {
+		maxAttempts += b.Len()
+	}
+	for attempt := 0; ; attempt++ {
+		if a, ok := h.tryAlloc(size); ok {
+			h.serial++
+			h.space.Format(a, t, length, h.serial)
+			return a, nil
+		}
+		if attempt >= maxAttempts {
+			break
+		}
+		if err := h.collectForAlloc(); err != nil {
+			return heap.Nil, err
+		}
+	}
+	return heap.Nil, &gc.OOMError{Requested: size, HeapBytes: h.cfg.HeapBytes,
+		Detail: fmt.Sprintf("%s: no progress after repeated collections", h.cfg.Name)}
+}
+
+// chargePaging applies the cost model's paging term: once the mapped
+// footprint exceeds physical memory, mutator work slows in proportion to
+// the overcommit ratio (this reproduces the large-heap degradation of
+// paper Figures 1(b) and 10(f)).
+func (h *Heap) chargePaging(bytes int) {
+	pm := h.cfg.PhysMemBytes
+	if pm <= 0 || h.cfg.Costs.PageByte == 0 {
+		return
+	}
+	over := h.FootprintBytes() - pm
+	if over <= 0 {
+		return
+	}
+	h.clock.Counters.PageFaultBytes += uint64(bytes)
+	h.clock.Advance(h.cfg.Costs.PageByte * float64(bytes) * float64(over) / float64(pm))
+}
+
+// tryAlloc attempts a bump allocation of size bytes without collecting.
+func (h *Heap) tryAlloc(size int) (heap.Addr, bool) {
+	belt := h.belts[h.allocBelt]
+	in := belt.Youngest()
+
+	// Time-to-die trigger (§3.3.3): within TTDBytes of heap-full, open a
+	// fresh nursery increment so the youngest objects escape the next
+	// collection.
+	if h.cfg.TTDBytes > 0 && in != nil && !in.condemned &&
+		h.freeBudgetFor(h.allocBelt) < h.cfg.TTDBytes && belt.Len() == 1 {
+		if a, ok := h.allocNewIncrement(belt, size, true); ok {
+			return a, true
+		}
+		return heap.Nil, false
+	}
+
+	if in != nil && !in.condemned {
+		if in.cursor != heap.Nil && in.cursor+heap.Addr(size) <= in.limit {
+			return h.bump(in, size), true
+		}
+		// Current frame exhausted (or no frame yet): extend the increment.
+		if !in.atCapacity() && h.freeBudgetFor(h.allocBelt) >= h.cfg.FrameBytes {
+			h.addFrame(in)
+			return h.bump(in, size), true
+		}
+		if in.atCapacity() {
+			// Nursery trigger territory: the increment is at its size
+			// bound. Open a sibling increment if the belt allows more.
+			if a, ok := h.allocNewIncrement(belt, size, false); ok {
+				return a, true
+			}
+			return heap.Nil, false
+		}
+		return heap.Nil, false // heap full
+	}
+	if a, ok := h.allocNewIncrement(belt, size, false); ok {
+		return a, true
+	}
+	return heap.Nil, false
+}
+
+// allocNewIncrement opens a new increment on belt and allocates size
+// bytes in it, if the belt's increment bound and the heap budget allow.
+// bypassMax skips the MaxIncrements check (used by the TTD trigger).
+func (h *Heap) allocNewIncrement(belt *Belt, size int, bypassMax bool) (heap.Addr, bool) {
+	if !bypassMax && belt.spec.MaxIncrements > 0 && belt.Len() >= belt.spec.MaxIncrements {
+		return heap.Nil, false
+	}
+	if h.freeBudgetFor(h.allocBelt) < h.cfg.FrameBytes {
+		return heap.Nil, false
+	}
+	in := h.newIncrement(belt)
+	h.addFrame(in)
+	return h.bump(in, size), true
+}
+
+// newIncrement creates an empty increment at the back of belt, fixing its
+// frame budget from the current usable memory.
+func (h *Heap) newIncrement(belt *Belt) *Increment {
+	beltIdx := -1
+	for i, b := range h.belts {
+		if b == belt {
+			beltIdx = i
+		}
+	}
+	if h.cfg.MOS && beltIdx == h.mosBelt() {
+		panic("core: newIncrement on the MOS belt (use newMOSCar)")
+	}
+	in := &Increment{belt: beltIdx, seq: belt.nextSeq, train: -1}
+	belt.nextSeq++
+	if f := belt.spec.IncrementFrac; f < 1.0 {
+		usable := h.cfg.HeapBytes - h.reserveBytes
+		capBytes := int(f * float64(usable))
+		in.capFrames = capBytes / h.cfg.FrameBytes
+		if in.capFrames < 1 {
+			in.capFrames = 1
+		}
+	}
+	belt.incrs = append(belt.incrs, in)
+	return in
+}
+
+// addFrame maps a fresh frame for increment in and makes it the bump
+// target. Tail space in the previous frame is abandoned (and counted as
+// occupancy at frame granularity by the budget, as in a real VM).
+func (h *Heap) addFrame(in *Increment) {
+	f := h.space.MapFrame()
+	h.ensureFrameMeta(f)
+	belt := h.belts[in.belt]
+	h.stamp[f] = stampOf(belt.priority, in.seq)
+	h.incrOf[f] = in
+	h.immortal[f] = false
+	base := h.space.FrameBase(f)
+	h.fill[f] = base
+	in.frames = append(in.frames, f)
+	in.cursor = base
+	in.limit = h.space.FrameLimit(f)
+	h.heapFrames++
+	h.clock.Advance(h.cfg.Costs.FrameOp)
+	if !h.inGC {
+		// The reserve tracks occupancy continuously (§3.3.4); growing
+		// the heap by a frame can grow the worst-case condemned set.
+		h.recomputeReserve()
+	}
+}
+
+// bump performs the bump allocation inside the increment's open frame.
+func (h *Heap) bump(in *Increment, size int) heap.Addr {
+	a := in.cursor
+	in.cursor += heap.Addr(size)
+	in.bytes += size
+	h.fill[h.space.FrameOf(a)] = in.cursor
+	return a
+}
+
+// AllocImmortal implements gc.Collector: bump allocation in the boot
+// image. Immortal frames carry the maximal collection-order stamp, so the
+// frame barrier remembers boot-image stores into the heap; the boundary
+// barrier instead scans the boot image at every collection.
+func (h *Heap) AllocImmortal(t *heap.TypeDesc, length int) (heap.Addr, error) {
+	size := t.Size(length)
+	if size > h.cfg.FrameBytes {
+		return heap.Nil, fmt.Errorf("core: immortal object of %d bytes exceeds frame size %d",
+			size, h.cfg.FrameBytes)
+	}
+	if h.boot.cursor == heap.Nil || h.boot.cursor+heap.Addr(size) > h.boot.limit {
+		f := h.space.MapFrame()
+		h.ensureFrameMeta(f)
+		h.stamp[f] = immortalStamp
+		h.immortal[f] = true
+		h.boot.frames = append(h.boot.frames, f)
+		h.boot.cursor = h.space.FrameBase(f)
+		h.boot.limit = h.space.FrameLimit(f)
+		h.fill[f] = h.boot.cursor
+	}
+	a := h.boot.cursor
+	h.boot.cursor += heap.Addr(size)
+	h.boot.bytes += size
+	h.fill[h.space.FrameOf(a)] = h.boot.cursor
+	h.serial++
+	h.space.Format(a, t, length, h.serial)
+	h.clock.Counters.ObjectsAllocated++
+	h.clock.Advance(h.cfg.Costs.AllocByte * float64(size))
+	return a, nil
+}
+
+// BootBytes returns the boot-image occupancy.
+func (h *Heap) BootBytes() int { return h.boot.bytes }
+
+// Collections returns the number of collections performed.
+func (h *Heap) Collections() uint64 { return h.gcCount }

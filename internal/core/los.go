@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+
+	"beltway/internal/gc"
+	"beltway/internal/heap"
+)
+
+// Large object space (LOS). The paper's GCTk had none ("GCTk currently
+// does not yet implement a large object space", §4.1), which forced
+// large arrays to be chunked; this extension provides one, in the style
+// the paper's Related Work cites [Hicks et al.]:
+//
+//   - objects larger than Config.LOSThresholdBytes are allocated in
+//     dedicated spans of contiguous frames and are NEVER moved;
+//
+//   - LOS frames carry the maximal collection-order stamp (like the
+//     boot image), so the frame barrier remembers LOS-to-heap pointers;
+//     boundary-barrier configurations scan the LOS alongside the boot
+//     image instead;
+//
+//   - LOS objects are reclaimed by mark-sweep piggybacked on full
+//     collections (every increment condemned): the trace marks LOS
+//     objects it reaches, marked LOS objects' own references are traced
+//     (keeping their heap referents alive and marking LOS-to-LOS edges),
+//     and unmarked objects are swept. Between full collections dead LOS
+//     objects are retained — the same completeness trade the paper's
+//     incremental configurations make.
+type losObject struct {
+	addr   heap.Addr
+	frames int // span length
+	size   int // object size in bytes
+	marked bool
+}
+
+type losState struct {
+	objects []*losObject
+	byFrame map[heap.Frame]*losObject
+	bytes   int
+	// mark queue for the current full collection
+	queue    []*losObject
+	sweeping bool
+}
+
+// losThreshold returns the size above which objects go to the LOS
+// (0 disables the LOS entirely).
+func (h *Heap) losThreshold() int { return h.cfg.LOSThresholdBytes }
+
+// inLOS reports whether a lies in a large object's span.
+func (h *Heap) inLOS(a heap.Addr) bool {
+	if h.los.byFrame == nil {
+		return false
+	}
+	_, ok := h.los.byFrame[h.space.FrameOf(a)]
+	return ok
+}
+
+// allocLOS allocates a large object in its own frame span.
+func (h *Heap) allocLOS(t *heap.TypeDesc, length, size int) (heap.Addr, error) {
+	c := &h.clock.Counters
+	c.ObjectsAllocated++
+	c.BytesAllocated += uint64(size)
+	c.LOSBytesAllocated += uint64(size)
+	h.clock.Advance(h.cfg.Costs.AllocByte*float64(size) + h.cfg.Costs.BarrierFast)
+	h.chargePaging(size)
+
+	nFrames := (size + h.cfg.FrameBytes - 1) / h.cfg.FrameBytes
+	maxAttempts := 4 + 2*len(h.belts)
+	for _, b := range h.belts {
+		maxAttempts += b.Len()
+	}
+	for attempt := 0; ; attempt++ {
+		if h.freeBudgetBytes() >= nFrames*h.cfg.FrameBytes {
+			f := h.space.MapSpan(nFrames)
+			last := f + heap.Frame(nFrames-1)
+			h.ensureFrameMeta(last)
+			obj := &losObject{addr: h.space.FrameBase(f), frames: nFrames, size: size}
+			if h.los.byFrame == nil {
+				h.los.byFrame = make(map[heap.Frame]*losObject)
+			}
+			for i := 0; i < nFrames; i++ {
+				fr := f + heap.Frame(i)
+				h.stamp[fr] = immortalStamp
+				h.immortal[fr] = true // boundary-barrier discipline: scanned, not remembered
+				h.fill[fr] = h.space.FrameLimit(fr)
+				h.los.byFrame[fr] = obj
+			}
+			// Only the first frame holds (the start of) the object; cap
+			// its fill so object walks stop at the object's end.
+			h.fill[f] = obj.addr + heap.Addr(size)
+			h.los.objects = append(h.los.objects, obj)
+			h.los.bytes += size
+			h.heapFrames += nFrames
+			h.clock.Advance(float64(nFrames) * h.cfg.Costs.FrameOp)
+			h.serial++
+			h.space.Format(obj.addr, t, length, h.serial)
+			if !h.inGC {
+				h.recomputeReserve()
+			}
+			return obj.addr, nil
+		}
+		if attempt >= maxAttempts {
+			break
+		}
+		if err := h.collectForAlloc(); err != nil {
+			return heap.Nil, err
+		}
+	}
+	return heap.Nil, &gc.OOMError{Requested: size, HeapBytes: h.cfg.HeapBytes,
+		Detail: fmt.Sprintf("%s: large object of %d frames found no space", h.cfg.Name, nFrames)}
+}
+
+// markLOS marks the large object containing a, queueing it for scanning
+// (its references keep heap objects and other LOS objects alive).
+// No-op outside a sweeping (full) collection.
+func (h *Heap) markLOS(a heap.Addr) {
+	if !h.los.sweeping {
+		return
+	}
+	obj := h.los.byFrame[h.space.FrameOf(a)]
+	if obj == nil || obj.marked {
+		return
+	}
+	obj.marked = true
+	h.los.queue = append(h.los.queue, obj)
+}
+
+// drainLOSQueue scans newly marked large objects, forwarding condemned
+// referents and marking LOS-to-LOS edges. Returns whether it advanced.
+func (h *Heap) drainLOSQueue(st *gcState) (bool, error) {
+	advanced := false
+	for len(h.los.queue) > 0 {
+		obj := h.los.queue[len(h.los.queue)-1]
+		h.los.queue = h.los.queue[:len(h.los.queue)-1]
+		advanced = true
+		n := h.space.NumRefs(obj.addr)
+		for i := 0; i < n; i++ {
+			h.clock.Advance(h.cfg.Costs.ScanSlot)
+			val := h.space.GetRef(obj.addr, i)
+			if val == heap.Nil {
+				continue
+			}
+			if h.isCondemned(val) {
+				nv, err := h.forward(val, st, nil)
+				if err != nil {
+					return advanced, err
+				}
+				h.space.SetRef(obj.addr, i, nv)
+				val = nv
+				// The slot now holds a to-space pointer; re-apply the
+				// barrier rule (LOS stamps are maximal, so heap
+				// pointers out of large objects are always interesting).
+				h.rescanSlot(h.space.RefSlotAddr(obj.addr, i), val)
+			}
+			h.markLOS(val)
+		}
+	}
+	return advanced, nil
+}
+
+// sweepLOS frees unmarked large objects and resets marks.
+func (h *Heap) sweepLOS() {
+	if !h.los.sweeping {
+		return
+	}
+	kept := h.los.objects[:0]
+	for _, obj := range h.los.objects {
+		if obj.marked {
+			obj.marked = false
+			kept = append(kept, obj)
+			continue
+		}
+		f := h.space.FrameOf(obj.addr)
+		for i := 0; i < obj.frames; i++ {
+			fr := f + heap.Frame(i)
+			h.rems.DeleteFrame(fr)
+			delete(h.los.byFrame, fr)
+			h.stamp[fr] = 0
+			h.immortal[fr] = false
+			h.fill[fr] = heap.Nil
+		}
+		h.space.UnmapSpan(f, obj.frames)
+		h.heapFrames -= obj.frames
+		h.los.bytes -= obj.size
+		h.clock.Counters.LOSBytesSwept += uint64(obj.size)
+		h.clock.Advance(float64(obj.frames) * h.cfg.Costs.FrameOp)
+	}
+	h.los.objects = kept
+	h.los.sweeping = false
+}
+
+// LOSBytes returns the current large-object-space occupancy.
+func (h *Heap) LOSBytes() int { return h.los.bytes }
+
+// LOSObjects returns the number of live-or-unswept large objects.
+func (h *Heap) LOSObjects() int { return len(h.los.objects) }

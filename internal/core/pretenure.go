@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+
+	"beltway/internal/gc"
+	"beltway/internal/heap"
+)
+
+// Pretenuring — §5's segregation by allocation site: "Beltway ...
+// supports segregation by object characteristics such as size, type, or
+// allocation-site (e.g., segregation of long-lived, immortal, or
+// immutable objects)", citing the authors' own Pretenuring for Java.
+//
+// AllocPretenured bump-allocates directly into an older belt (the
+// configured PretenureBelt, by default the top belt), so objects the
+// program knows to be long-lived skip the nursery and every promotion
+// copy on the way up. The existing machinery keeps this sound: the
+// pretenure belt's youngest increment has a high collection-order stamp,
+// so the frame barrier remembers pointers from the pretenured object
+// into anything younger, exactly as it does for promoted survivors.
+
+// pretenureBelt resolves the destination belt index.
+func (h *Heap) pretenureBelt() int {
+	if h.cfg.PretenureBelt > 0 {
+		return h.cfg.PretenureBelt
+	}
+	return len(h.belts) - 1
+}
+
+// AllocPretenured allocates an object directly on the pretenure belt,
+// collecting as needed. It is the allocation-site segregation hook; the
+// object is otherwise indistinguishable from a promoted survivor.
+func (h *Heap) AllocPretenured(t *heap.TypeDesc, length int) (heap.Addr, error) {
+	size := t.Size(length)
+	if size > h.cfg.FrameBytes {
+		return heap.Nil, fmt.Errorf("core: pretenured object of %d bytes exceeds frame size %d",
+			size, h.cfg.FrameBytes)
+	}
+	c := &h.clock.Counters
+	c.ObjectsAllocated++
+	c.BytesAllocated += uint64(size)
+	c.PretenuredBytes += uint64(size)
+	h.clock.Advance(h.cfg.Costs.AllocByte*float64(size) + h.cfg.Costs.BarrierFast)
+	h.chargePaging(size)
+
+	bi := h.pretenureBelt()
+	maxAttempts := 4 + 2*len(h.belts)
+	for _, b := range h.belts {
+		maxAttempts += b.Len()
+	}
+	for attempt := 0; ; attempt++ {
+		if a, ok := h.tryAllocPretenured(bi, size); ok {
+			h.serial++
+			h.space.Format(a, t, length, h.serial)
+			return a, nil
+		}
+		if attempt >= maxAttempts {
+			break
+		}
+		if err := h.collectForAlloc(); err != nil {
+			return heap.Nil, err
+		}
+	}
+	return heap.Nil, &gc.OOMError{Requested: size, HeapBytes: h.cfg.HeapBytes,
+		Detail: fmt.Sprintf("%s: pretenured allocation found no space", h.cfg.Name)}
+}
+
+// tryAllocPretenured bump-allocates into belt bi's youngest increment
+// (the last train's open car when bi is a MOS belt), opening frames and
+// increments within the mutator budget.
+func (h *Heap) tryAllocPretenured(bi, size int) (heap.Addr, bool) {
+	belt := h.belts[bi]
+	var in *Increment
+	if h.cfg.MOS && bi == h.mosBelt() {
+		if lt := h.lastTrain(); lt >= 0 {
+			cars := h.trainCars(lt)
+			in = cars[len(cars)-1]
+		}
+	} else {
+		in = belt.Youngest()
+	}
+
+	if in != nil && !in.condemned {
+		if in.cursor != heap.Nil && in.cursor+heap.Addr(size) <= in.limit {
+			return h.bump(in, size), true
+		}
+		if !in.atCapacity() && h.freeBudgetFor(bi) >= h.cfg.FrameBytes {
+			h.addFrame(in)
+			return h.bump(in, size), true
+		}
+	}
+	// Need a fresh increment (or car).
+	if h.freeBudgetFor(bi) < h.cfg.FrameBytes {
+		return heap.Nil, false
+	}
+	if belt.spec.MaxIncrements > 0 && belt.Len() >= belt.spec.MaxIncrements {
+		return heap.Nil, false
+	}
+	if h.cfg.MOS && bi == h.mosBelt() {
+		// Start or extend the last train.
+		lt := h.lastTrain()
+		var car *Increment
+		if lt >= 0 && len(h.trainCars(lt)) < h.mos.carsPerTrain {
+			car = h.newMOSCar(lt)
+		} else {
+			car = h.newTrain()
+		}
+		h.addFrame(car)
+		return h.bump(car, size), true
+	}
+	in = h.newIncrement(belt)
+	h.addFrame(in)
+	return h.bump(in, size), true
+}

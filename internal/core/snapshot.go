@@ -1,0 +1,65 @@
+package core
+
+// Snapshot types: a read-only view of the heap's belt structure for
+// tooling (cmd/beltway -belts) and tests. Taking a snapshot allocates
+// but never mutates collector state.
+
+// IncrementSnapshot describes one increment at snapshot time.
+type IncrementSnapshot struct {
+	Seq       uint32
+	Train     int // -1 outside MOS belts
+	Frames    int
+	Bytes     int
+	CapFrames int // 0 = unbounded
+}
+
+// BeltSnapshot describes one belt at snapshot time.
+type BeltSnapshot struct {
+	Index      int
+	Priority   int
+	PromoteTo  int
+	Bytes      int
+	Increments []IncrementSnapshot
+}
+
+// HeapSnapshot is the full structural view.
+type HeapSnapshot struct {
+	Belts        []BeltSnapshot
+	AllocBelt    int
+	ReserveBytes int
+	HeapBytes    int
+	BootBytes    int
+	LOSBytes     int
+	LOSObjects   int
+}
+
+// Snapshot captures the current belt/increment structure.
+func (h *Heap) Snapshot() HeapSnapshot {
+	snap := HeapSnapshot{
+		AllocBelt:    h.allocBelt,
+		ReserveBytes: h.reserveBytes,
+		HeapBytes:    h.cfg.HeapBytes,
+		BootBytes:    h.boot.bytes,
+		LOSBytes:     h.los.bytes,
+		LOSObjects:   len(h.los.objects),
+	}
+	for bi, b := range h.belts {
+		bs := BeltSnapshot{
+			Index:     bi,
+			Priority:  int(b.priority),
+			PromoteTo: b.promoteTo,
+			Bytes:     b.Bytes(),
+		}
+		for _, in := range b.incrs {
+			bs.Increments = append(bs.Increments, IncrementSnapshot{
+				Seq:       in.seq,
+				Train:     in.train,
+				Frames:    len(in.frames),
+				Bytes:     in.bytes,
+				CapFrames: in.capFrames,
+			})
+		}
+		snap.Belts = append(snap.Belts, bs)
+	}
+	return snap
+}

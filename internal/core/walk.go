@@ -1,0 +1,43 @@
+package core
+
+import "beltway/internal/heap"
+
+// ForEachObject implements gc.Collector: it visits every object on every
+// belt (oldest increment first) and then the boot image. Used by the
+// validation oracle and by heap-statistics tooling; never on the mutator
+// fast path.
+func (h *Heap) ForEachObject(fn func(heap.Addr) bool) {
+	stop := false
+	visitFrame := func(f heap.Frame) {
+		if stop {
+			return
+		}
+		base := h.space.FrameBase(f)
+		limit := h.fill[f]
+		h.space.WalkObjects(base, limit, func(obj heap.Addr) bool {
+			if !fn(obj) {
+				stop = true
+				return false
+			}
+			return true
+		})
+	}
+	for _, b := range h.belts {
+		for _, in := range b.incrs {
+			for _, f := range in.frames {
+				visitFrame(f)
+			}
+		}
+	}
+	for _, f := range h.boot.frames {
+		visitFrame(f)
+	}
+	for _, lo := range h.los.objects {
+		if stop {
+			return
+		}
+		if !fn(lo.addr) {
+			stop = true
+		}
+	}
+}

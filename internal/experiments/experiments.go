@@ -1,0 +1,175 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4). Each Figure* method runs the required heap-size sweep
+// and renders the same data series the paper plots; cmd/experiments is
+// the command-line front end and bench_test.go exposes each experiment as
+// a testing.B benchmark.
+//
+// Results are cached per (collector, benchmark, heap size) within a
+// Suite, so figures sharing configurations (Appel appears in Figures 1,
+// 5, 6, 8, 9 and 10) do not rerun identical measurements.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"beltway/internal/collectors"
+	"beltway/internal/core"
+	"beltway/internal/generational"
+	"beltway/internal/harness"
+	"beltway/internal/workload"
+)
+
+// Opts configures a Suite.
+type Opts struct {
+	Env    harness.Env
+	Points int // heap sizes per sweep (the paper used 33)
+	// Benchmarks defaults to the full six-benchmark suite.
+	Benchmarks []*workload.Benchmark
+	// Progress, if non-nil, receives one line per completed run.
+	Progress func(string)
+}
+
+// Suite runs experiments with shared minimum-heap and result caches.
+type Suite struct {
+	opts Opts
+
+	minOnce sync.Once
+	minErr  error
+	mins    map[string]int
+
+	mu    sync.Mutex
+	cache map[cacheKey]*harness.Result
+}
+
+type cacheKey struct {
+	collector string
+	benchmark string
+	heapBytes int
+}
+
+// New creates a Suite.
+func New(opts Opts) *Suite {
+	if opts.Points == 0 {
+		opts.Points = 33
+	}
+	if opts.Env == (harness.Env{}) {
+		opts.Env = harness.DefaultEnv()
+	}
+	if opts.Benchmarks == nil {
+		opts.Benchmarks = workload.All()
+	}
+	return &Suite{opts: opts, cache: make(map[cacheKey]*harness.Result)}
+}
+
+// Env returns the suite's environment.
+func (s *Suite) Env() harness.Env { return s.opts.Env }
+
+func (s *Suite) options(heapBytes int) collectors.Options {
+	return collectors.Options{
+		HeapBytes:    heapBytes,
+		FrameBytes:   s.opts.Env.FrameBytes,
+		PhysMemBytes: s.opts.Env.PhysMemBytes,
+	}
+}
+
+// Named collector factories, matching the paper's configuration names.
+
+func (s *Suite) appel() harness.Collector {
+	return harness.Collector{Name: "Appel", Make: func(h int) core.Config {
+		return generational.Appel(s.options(h))
+	}}
+}
+
+func (s *Suite) fixed(pct int) harness.Collector {
+	return harness.Collector{Name: fmt.Sprintf("Fixed %d", pct), Make: func(h int) core.Config {
+		return generational.Fixed(pct, s.options(h))
+	}}
+}
+
+func (s *Suite) xx(x int) harness.Collector {
+	return harness.Collector{Name: fmt.Sprintf("Beltway %d.%d", x, x), Make: func(h int) core.Config {
+		return collectors.XX(x, s.options(h))
+	}}
+}
+
+func (s *Suite) xx100(x int) harness.Collector {
+	name := fmt.Sprintf("Beltway %d.%d.100", x, x)
+	if x >= 100 {
+		name = "Beltway 100.100.100"
+	}
+	return harness.Collector{Name: name, Make: func(h int) core.Config {
+		c := collectors.XX100(x, s.options(h))
+		c.Name = name
+		return c
+	}}
+}
+
+// MinHeaps returns (computing once) the Appel minimum heap per benchmark,
+// the paper's Table 1 baseline and the x-axis origin of every figure.
+func (s *Suite) MinHeaps() (map[string]int, error) {
+	s.minOnce.Do(func() {
+		s.mins, s.minErr = harness.FindMinHeaps(
+			s.appel().Make, s.opts.Benchmarks, s.opts.Env, s.opts.Progress)
+	})
+	return s.mins, s.minErr
+}
+
+// Run executes one cached measurement.
+func (s *Suite) run(col harness.Collector, bench *workload.Benchmark, heapBytes int) (*harness.Result, error) {
+	key := cacheKey{col.Name, bench.Name, heapBytes}
+	s.mu.Lock()
+	if r, ok := s.cache[key]; ok {
+		s.mu.Unlock()
+		return r, nil
+	}
+	s.mu.Unlock()
+	r, err := harness.RunOne(col.Make(heapBytes), bench, s.opts.Env)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.cache[key] = r
+	s.mu.Unlock()
+	if s.opts.Progress != nil {
+		status := fmt.Sprintf("gc=%4.1f%%", 100*r.GCFraction())
+		if r.OOM {
+			status = "OOM"
+		}
+		s.opts.Progress(fmt.Sprintf("%-20s %-10s heap=%6.2fMB %s",
+			col.Name, bench.Name, float64(heapBytes)/(1<<20), status))
+	}
+	return r, nil
+}
+
+// sweepCached is the cache-aware sweep used by every figure.
+func (s *Suite) sweepCached(cols []harness.Collector) ([][]harness.SweepPoint, error) {
+	mins, err := s.MinHeaps()
+	if err != nil {
+		return nil, err
+	}
+	points := s.opts.Points
+	out := make([][]harness.SweepPoint, len(cols))
+	for ci, col := range cols {
+		out[ci] = make([]harness.SweepPoint, points)
+		for pi := range out[ci] {
+			out[ci][pi] = harness.SweepPoint{Collector: col.Name}
+		}
+	}
+	for _, bench := range s.opts.Benchmarks {
+		sizes := harness.HeapSizes(mins[bench.Name], 3, points, s.opts.Env.FrameBytes)
+		for ci, col := range cols {
+			for pi, size := range sizes {
+				r, err := s.run(col, bench, size)
+				if err != nil {
+					return nil, err
+				}
+				p := &out[ci][pi]
+				p.HeapBytes = size
+				p.HeapRel = float64(size) / float64(mins[bench.Name])
+				p.Results = append(p.Results, r)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,184 @@
+package gc
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"beltway/internal/heap"
+)
+
+func TestRootSetAddGetSetRemove(t *testing.T) {
+	r := NewRootSet()
+	h := r.Add(0x100)
+	if r.Get(h) != 0x100 {
+		t.Error("Get after Add wrong")
+	}
+	r.Set(h, 0x200)
+	if r.Get(h) != 0x200 {
+		t.Error("Get after Set wrong")
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d", r.Len())
+	}
+	r.Remove(h)
+	if r.Len() != 0 {
+		t.Errorf("Len = %d after Remove", r.Len())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Get of removed handle did not panic")
+			}
+		}()
+		r.Get(h)
+	}()
+}
+
+func TestNilHandle(t *testing.T) {
+	r := NewRootSet()
+	if r.Get(NilHandle) != heap.Nil {
+		t.Error("NilHandle must read as Nil")
+	}
+}
+
+func TestHandleReuse(t *testing.T) {
+	r := NewRootSet()
+	h1 := r.Add(0x100)
+	r.Remove(h1)
+	h2 := r.Add(0x200)
+	if h1 != h2 {
+		t.Errorf("freed handle not reused: %d then %d", h1, h2)
+	}
+	if r.Capacity() != 1 {
+		t.Errorf("Capacity = %d, want 1", r.Capacity())
+	}
+}
+
+func TestScopes(t *testing.T) {
+	r := NewRootSet()
+	outer := r.Add(0x10)
+	r.PushScope()
+	inner := r.Add(0x20)
+	r.PushScope()
+	innermost := r.Add(0x30)
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	r.PopScope()
+	if r.Len() != 2 {
+		t.Errorf("Len = %d after inner pop", r.Len())
+	}
+	_ = innermost
+	r.PopScope()
+	if r.Len() != 1 {
+		t.Errorf("Len = %d after outer pop", r.Len())
+	}
+	if r.Get(outer) != 0x10 {
+		t.Error("global root damaged by scope pops")
+	}
+	_ = inner
+}
+
+func TestScopeWithExplicitRemove(t *testing.T) {
+	r := NewRootSet()
+	r.PushScope()
+	h := r.Add(0x40)
+	r.Remove(h) // removed early; PopScope must not double-free
+	r.PopScope()
+	if r.Len() != 0 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}
+
+func TestPopScopeUnderflowPanics(t *testing.T) {
+	r := NewRootSet()
+	defer func() {
+		if recover() == nil {
+			t.Error("PopScope on empty stack did not panic")
+		}
+	}()
+	r.PopScope()
+}
+
+func TestWalkVisitsOnlyLiveNonNil(t *testing.T) {
+	r := NewRootSet()
+	a := r.Add(0x100)
+	r.Add(heap.Nil)
+	dead := r.Add(0x300)
+	r.Remove(dead)
+
+	seen := 0
+	r.Walk(func(addr heap.Addr) heap.Addr {
+		seen++
+		return addr + 4 // simulate forwarding
+	})
+	if seen != 1 {
+		t.Errorf("Walk visited %d slots, want 1", seen)
+	}
+	if r.Get(a) != 0x104 {
+		t.Error("Walk did not update the slot")
+	}
+}
+
+func TestOOMErrorUnwraps(t *testing.T) {
+	err := error(&OOMError{Requested: 64, HeapBytes: 1024, Detail: "x"})
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Error("OOMError does not unwrap to ErrOutOfMemory")
+	}
+	if err.Error() == "" {
+		t.Error("empty error message")
+	}
+}
+
+// TestScopeDisciplineProperty drives random scope push/pop/add/remove
+// sequences and checks the live count and global-root survival.
+func TestScopeDisciplineProperty(t *testing.T) {
+	prop := func(ops []uint8) bool {
+		r := NewRootSet()
+		var globals []Handle
+		var scoped [][]Handle
+		for _, op := range ops {
+			switch {
+			case op < 90:
+				h := r.Add(heap.Addr(op)*4 + 4)
+				if len(scoped) == 0 {
+					globals = append(globals, h)
+				} else {
+					scoped[len(scoped)-1] = append(scoped[len(scoped)-1], h)
+				}
+			case op < 120:
+				h := r.AddGlobal(heap.Addr(op)*4 + 4)
+				globals = append(globals, h)
+			case op < 180:
+				r.PushScope()
+				scoped = append(scoped, nil)
+			default:
+				if len(scoped) > 0 {
+					r.PopScope()
+					scoped = scoped[:len(scoped)-1]
+				}
+			}
+		}
+		for len(scoped) > 0 {
+			r.PopScope()
+			scoped = scoped[:len(scoped)-1]
+		}
+		if r.Len() != len(globals) {
+			return false
+		}
+		for _, g := range globals {
+			if r.Get(g) == heap.Nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quickCheck(prop); err != nil {
+		t.Error(err)
+	}
+}
+
+func quickCheck(f func([]uint8) bool) error {
+	return quick.Check(f, &quick.Config{MaxCount: 80})
+}

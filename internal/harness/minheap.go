@@ -1,0 +1,74 @@
+package harness
+
+import (
+	"fmt"
+
+	"beltway/internal/workload"
+)
+
+// FindMinHeap binary-searches the smallest heap size (frame granularity)
+// at which the benchmark completes under the given collector — Table 1's
+// "minimum heap size in which an Appel-style collector does not fail".
+func FindMinHeap(mk ConfigFunc, bench *workload.Benchmark, env Env) (int, error) {
+	completes := func(heapBytes int) (bool, error) {
+		res, err := RunOne(mk(heapBytes), bench, env)
+		if err != nil {
+			return false, err
+		}
+		return !res.OOM, nil
+	}
+
+	// Exponential search upward for a completing size.
+	lo := 8 * env.FrameBytes // too small for anything real
+	hi := lo * 2
+	for {
+		ok, err := completes(hi)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			break
+		}
+		lo = hi
+		hi *= 2
+		if hi > 1<<31 {
+			return 0, fmt.Errorf("harness: %s never completes", bench.Name)
+		}
+	}
+
+	// Bisect down to frame granularity.
+	for hi-lo > env.FrameBytes {
+		mid := (lo + hi) / 2
+		mid = (mid / env.FrameBytes) * env.FrameBytes
+		if mid <= lo {
+			break
+		}
+		ok, err := completes(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}
+
+// FindMinHeaps computes minimum heaps for a benchmark set, keyed by
+// benchmark name.
+func FindMinHeaps(mk ConfigFunc, benches []*workload.Benchmark, env Env, progress func(string)) (map[string]int, error) {
+	out := make(map[string]int, len(benches))
+	for _, b := range benches {
+		m, err := FindMinHeap(mk, b, env)
+		if err != nil {
+			return nil, err
+		}
+		out[b.Name] = m
+		if progress != nil {
+			progress(fmt.Sprintf("min heap %-10s = %d KB", b.Name, m/1024))
+		}
+	}
+	return out, nil
+}

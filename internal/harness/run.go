@@ -1,0 +1,139 @@
+// Package harness runs workloads on collector configurations and
+// aggregates the measurements behind every table and figure in the
+// paper's evaluation: heap-size sweeps (1x-3x the minimum heap,
+// log-spaced, as in §4.1), minimum-heap binary search (Table 1),
+// relative-to-best normalization and geometric means across benchmarks
+// (Figures 5-10), and MMU curves (Figure 11).
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"beltway/internal/core"
+	"beltway/internal/gc"
+	"beltway/internal/heap"
+	"beltway/internal/mmu"
+	"beltway/internal/stats"
+	"beltway/internal/workload"
+)
+
+// Env fixes the machine-level parameters of an experiment.
+type Env struct {
+	FrameBytes   int     // simulated frame size
+	PhysMemBytes int     // physical memory for the paging model (0 = off)
+	Scale        float64 // workload scale
+	Seed         int64
+	Pretenure    bool // route known-long-lived allocation sites to older belts
+}
+
+// DefaultEnv mirrors the paper's testbed at scale 1: see EnvForScale.
+func DefaultEnv() Env { return EnvForScale(1.0) }
+
+// EnvForScale mirrors the paper's testbed at a given workload scale.
+// Frame size and modelled physical memory both shrink with the workload
+// so that heap geometry stays comparable:
+//
+//   - frames: 16KB at scale 1 (increments then span dozens of frames at
+//     benchmark min heaps, as the paper's do), power-of-two rounded,
+//     clamped to [2KB, 64KB];
+//   - physical memory: 16MB at scale 1, preserving the paper's ratio of
+//     physical memory to pseudojbb's minimum heap (128MB : 70MB ≈ 1.8)
+//     so that, as in Figure 1(b), only pseudojbb's large-heap
+//     configurations page.
+func EnvForScale(scale float64) Env {
+	frame := 2048
+	for float64(frame*2) <= 16384*scale && frame < 65536 {
+		frame *= 2
+	}
+	return Env{
+		FrameBytes:   frame,
+		PhysMemBytes: int(16 * 1024 * 1024 * scale),
+		Scale:        scale,
+		Seed:         workload.DefaultParams().Seed,
+	}
+}
+
+// ConfigFunc builds a collector configuration for a given heap size.
+// Presets are curried over everything but the heap size so the sweep can
+// vary it.
+type ConfigFunc func(heapBytes int) core.Config
+
+// Result is one (collector, benchmark, heap size) measurement.
+type Result struct {
+	Collector string
+	Benchmark string
+	HeapBytes int
+
+	TotalTime float64 // cost units
+	GCTime    float64
+	MaxPause  float64
+	Pauses    []stats.Pause
+	Counters  stats.Counters
+
+	Collections uint64
+	OOM         bool // run did not complete at this heap size
+}
+
+// GCFraction returns the share of total time spent collecting.
+func (r *Result) GCFraction() float64 {
+	if r.TotalTime == 0 {
+		return 0
+	}
+	return r.GCTime / r.TotalTime
+}
+
+// MMU computes the run's minimum-mutator-utilization curve.
+func (r *Result) MMU(points int) mmu.Curve {
+	total := r.TotalTime
+	curve := mmu.Curve{MaxPause: r.MaxPause}
+	if total > 0 {
+		curve.Throughput = 1 - r.GCTime/total
+	}
+	lo := r.MaxPause / 4
+	if lo <= 0 {
+		lo = total / 1e6
+	}
+	for i := 0; i < points; i++ {
+		w := lo * math.Pow(total/lo, float64(i)/float64(points-1))
+		curve.Points = append(curve.Points, mmu.Point{
+			Window:      w,
+			Utilization: mmu.MMU(r.Pauses, total, w),
+		})
+	}
+	curve.Monotone()
+	return curve
+}
+
+// RunOne executes one benchmark on one collector configuration.
+// An out-of-memory completion is reported via Result.OOM, not an error;
+// errors are reserved for misconfiguration.
+func RunOne(cfg core.Config, bench *workload.Benchmark, env Env) (*Result, error) {
+	types := heap.NewRegistry()
+	h, err := core.New(cfg, types)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s on %s: %w", cfg.Name, bench.Name, err)
+	}
+	params := workload.Params{Scale: env.Scale, Seed: env.Seed, Pretenure: env.Pretenure}
+	runErr := bench.Run(h, params)
+	res := &Result{
+		Collector:   cfg.Name,
+		Benchmark:   bench.Name,
+		HeapBytes:   cfg.HeapBytes,
+		TotalTime:   h.Clock().TotalTime(),
+		GCTime:      h.Clock().GCTime(),
+		MaxPause:    h.Clock().MaxPause(),
+		Pauses:      h.Clock().Pauses(),
+		Counters:    h.Clock().Counters,
+		Collections: h.Collections(),
+	}
+	if runErr != nil {
+		if errors.Is(runErr, gc.ErrOutOfMemory) {
+			res.OOM = true
+			return res, nil
+		}
+		return nil, fmt.Errorf("harness: %s on %s: %w", cfg.Name, bench.Name, runErr)
+	}
+	return res, nil
+}

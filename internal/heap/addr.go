@@ -1,0 +1,40 @@
+// Package heap simulates the managed heap that Beltway manages inside
+// Jikes RVM. It provides a word-addressed virtual address space divided
+// into power-of-two aligned frames, an object model with headers and
+// forwarding pointers, and a type registry. Everything above this package
+// (the Beltway framework, the generational baselines, the mutator facade)
+// manipulates objects only through simulated addresses, so the collectors
+// exercise the same algorithmic code paths as a real copying collector:
+// frame arithmetic by shift-and-compare, header tagging, Cheney
+// forwarding, and bump allocation into frames.
+package heap
+
+import "fmt"
+
+// Addr is a simulated heap address: a byte offset into the simulated
+// address space. Address 0 is the nil reference; frame 0 is never mapped,
+// so any dereference of Nil faults immediately.
+type Addr uint32
+
+// Nil is the null simulated reference.
+const Nil Addr = 0
+
+// WordBytes is the size of one heap word. The simulated machine is
+// 32-bit, like the paper's PowerPC target: references are one word.
+const WordBytes = 4
+
+// WordShift is log2(WordBytes).
+const WordShift = 2
+
+// Frame identifies one power-of-two aligned frame of the address space.
+// The frame of an address is addr >> FrameShift — the same shift-and-
+// compare the paper's write barrier (Figure 4) relies on.
+type Frame uint32
+
+// NoFrame is the zero Frame; frame 0 is reserved (never mapped) so that
+// address 0 stays invalid.
+const NoFrame Frame = 0
+
+func (a Addr) String() string {
+	return fmt.Sprintf("0x%08x", uint32(a))
+}

@@ -1,0 +1,176 @@
+package heap
+
+import "fmt"
+
+// Object layout, in words:
+//
+//	W0: header — bits 0..23 type id, bit 31 forwarded flag
+//	W1: array length in elements (0 for scalars); when the forwarded flag
+//	    is set, W1 instead holds the forwarding address
+//	W2: serial — a unique allocation number used by the validation oracle
+//	    and for deterministic debugging
+//	W3..: reference slots, then data words (per the type descriptor)
+//
+// The forwarding encoding clobbers W1 exactly the way real copying
+// collectors clobber from-space objects: once an object is forwarded its
+// old body is unreadable, and only the (flag, forwarding address) pair
+// survives.
+const (
+	headerWords = 3
+	// HeaderBytes is the per-object header overhead.
+	HeaderBytes = headerWords * WordBytes
+
+	typeMask  = 0x00ffffff
+	fwdFlag   = 0x80000000
+	hdrLenOff = 1 * WordBytes
+	hdrSerOff = 2 * WordBytes
+)
+
+// Format writes a fresh object header at addr. The body (slots and data)
+// is expected to be zero, which bump allocation into freshly mapped
+// frames guarantees.
+func (s *Space) Format(addr Addr, t *TypeDesc, length int, serial uint32) {
+	if t.Kind == Scalar && length != 0 {
+		panic(fmt.Sprintf("heap: scalar %s formatted with length %d", t.Name, length))
+	}
+	if length < 0 {
+		panic("heap: negative array length")
+	}
+	s.SetWord(addr, uint32(t.ID))
+	s.SetWord(addr+hdrLenOff, uint32(length))
+	s.SetWord(addr+hdrSerOff, serial)
+}
+
+// TypeOf returns the type descriptor of the object at addr.
+func (s *Space) TypeOf(addr Addr) *TypeDesc {
+	h := s.Word(addr)
+	if h&fwdFlag != 0 {
+		panic(fmt.Sprintf("heap: TypeOf on forwarded object at %v", addr))
+	}
+	return s.Types.Get(TypeID(h & typeMask))
+}
+
+// Length returns the array length of the object at addr (0 for scalars).
+func (s *Space) Length(addr Addr) int { return int(s.Word(addr + hdrLenOff)) }
+
+// Serial returns the allocation serial of the object at addr.
+func (s *Space) Serial(addr Addr) uint32 { return s.Word(addr + hdrSerOff) }
+
+// SizeOf returns the total size in bytes of the object at addr.
+func (s *Space) SizeOf(addr Addr) int {
+	t := s.TypeOf(addr)
+	return t.Size(s.Length(addr))
+}
+
+// NumRefs returns the number of reference slots of the object at addr.
+func (s *Space) NumRefs(addr Addr) int {
+	t := s.TypeOf(addr)
+	return t.NumRefs(s.Length(addr))
+}
+
+// RefSlotAddr returns the address of reference slot i of the object at
+// addr. Remembered sets store these slot addresses.
+func (s *Space) RefSlotAddr(addr Addr, i int) Addr {
+	return addr + Addr((headerWords+i)*WordBytes)
+}
+
+// GetRef reads reference slot i of the object at addr.
+func (s *Space) GetRef(addr Addr, i int) Addr {
+	s.checkRefSlot(addr, i)
+	return Addr(s.Word(s.RefSlotAddr(addr, i)))
+}
+
+// SetRef writes reference slot i of the object at addr. This is the raw
+// store; write barriers live above this package.
+func (s *Space) SetRef(addr Addr, i int, v Addr) {
+	s.checkRefSlot(addr, i)
+	s.SetWord(s.RefSlotAddr(addr, i), uint32(v))
+}
+
+func (s *Space) checkRefSlot(addr Addr, i int) {
+	if n := s.NumRefs(addr); i < 0 || i >= n {
+		panic(fmt.Sprintf("heap: ref slot %d out of range [0,%d) at %v (%s)",
+			i, n, addr, s.TypeOf(addr).Name))
+	}
+}
+
+// dataSlotAddr returns the address of data word i.
+func (s *Space) dataSlotAddr(addr Addr, i int) Addr {
+	t := s.TypeOf(addr)
+	var n, base int
+	switch t.Kind {
+	case Scalar:
+		base, n = headerWords+t.RefSlots, t.DataWords
+	case WordArray:
+		base, n = headerWords, s.Length(addr)
+	default:
+		panic(fmt.Sprintf("heap: data access on %s (%s)", t.Name, t.Kind))
+	}
+	if i < 0 || i >= n {
+		panic(fmt.Sprintf("heap: data word %d out of range [0,%d) at %v (%s)", i, n, addr, t.Name))
+	}
+	return addr + Addr((base+i)*WordBytes)
+}
+
+// GetData reads data word i of the object at addr.
+func (s *Space) GetData(addr Addr, i int) uint32 { return s.Word(s.dataSlotAddr(addr, i)) }
+
+// SetData writes data word i of the object at addr.
+func (s *Space) SetData(addr Addr, i int, v uint32) { s.SetWord(s.dataSlotAddr(addr, i), v) }
+
+// DataWords returns the number of data words of the object at addr.
+func (s *Space) DataWords(addr Addr) int {
+	t := s.TypeOf(addr)
+	switch t.Kind {
+	case Scalar:
+		return t.DataWords
+	case WordArray:
+		return s.Length(addr)
+	default:
+		return 0
+	}
+}
+
+// Forwarded reports whether the object at addr has been forwarded.
+func (s *Space) Forwarded(addr Addr) bool { return s.Word(addr)&fwdFlag != 0 }
+
+// Forwarding returns the forwarding address of a forwarded object.
+func (s *Space) Forwarding(addr Addr) Addr {
+	if !s.Forwarded(addr) {
+		panic(fmt.Sprintf("heap: Forwarding on unforwarded object at %v", addr))
+	}
+	return Addr(s.Word(addr + hdrLenOff))
+}
+
+// SetForwarding marks the object at addr forwarded to dst, clobbering W1.
+func (s *Space) SetForwarding(addr, dst Addr) {
+	if s.Forwarded(addr) {
+		panic(fmt.Sprintf("heap: double forwarding at %v", addr))
+	}
+	s.SetWord(addr, s.Word(addr)|fwdFlag)
+	s.SetWord(addr+hdrLenOff, uint32(dst))
+}
+
+// CopyObject copies the object at src to dst (already reserved, zeroed
+// memory) and returns its size in bytes. The source header must not yet
+// be forwarded; the caller installs the forwarding pointer afterwards.
+func (s *Space) CopyObject(src, dst Addr) int {
+	size := s.SizeOf(src)
+	for off := 0; off < size; off += WordBytes {
+		s.SetWord(dst+Addr(off), s.Word(src+Addr(off)))
+	}
+	return size
+}
+
+// WalkObjects calls fn for each object formatted consecutively in
+// [start, limit). It is the Cheney scan-pointer walk: fn receives the
+// object address and must not move it. Walking stops early if fn returns
+// false.
+func (s *Space) WalkObjects(start, limit Addr, fn func(obj Addr) bool) {
+	for a := start; a < limit; {
+		if !fn(a) {
+			return
+		}
+		a += Addr(s.SizeOf(a))
+	}
+}

@@ -1,0 +1,162 @@
+package heap
+
+import "fmt"
+
+// Space is the simulated virtual address space: a growable set of
+// power-of-two sized frames, each backed by its own zeroed byte slab.
+// Frames are mapped on demand and unmapped when their increment is
+// collected; unmapped frame numbers are recycled in FIFO order so that
+// address reuse — and therefore stale-pointer bugs — are exercised, just
+// as they would be against a real mmap'd heap.
+type Space struct {
+	Types *Registry
+
+	frameBytes int
+	frameShift uint
+	frames     [][]byte // indexed by Frame; nil when unmapped
+	free       []Frame  // FIFO recycle queue of unmapped frame numbers
+	mapped     int
+
+	// Hooks for cost accounting; nil-safe.
+	OnMap   func()
+	OnUnmap func()
+}
+
+// NewSpace creates an address space with the given frame size, which must
+// be a power of two and at least 256 bytes. The registry may be shared
+// between spaces (e.g. a collected space and an immortal space).
+func NewSpace(frameBytes int, types *Registry) *Space {
+	if frameBytes < 256 || frameBytes&(frameBytes-1) != 0 {
+		panic(fmt.Sprintf("heap: frame size %d is not a power of two >= 256", frameBytes))
+	}
+	shift := uint(0)
+	for 1<<shift != frameBytes {
+		shift++
+	}
+	return &Space{
+		Types:      types,
+		frameBytes: frameBytes,
+		frameShift: shift,
+		frames:     make([][]byte, 1), // frame 0 reserved, never mapped
+	}
+}
+
+// FrameBytes returns the frame size in bytes.
+func (s *Space) FrameBytes() int { return s.frameBytes }
+
+// FrameShift returns log2(FrameBytes); the write barrier's shift.
+func (s *Space) FrameShift() uint { return s.frameShift }
+
+// FrameOf returns the frame containing a.
+func (s *Space) FrameOf(a Addr) Frame { return Frame(uint32(a) >> s.frameShift) }
+
+// FrameBase returns the first address of frame f.
+func (s *Space) FrameBase(f Frame) Addr { return Addr(uint32(f) << s.frameShift) }
+
+// FrameLimit returns one past the last address of frame f.
+func (s *Space) FrameLimit(f Frame) Addr { return s.FrameBase(f) + Addr(s.frameBytes) }
+
+// NumFrames returns the highest frame number ever mapped plus one; frame
+// metadata tables in the collectors are sized by this.
+func (s *Space) NumFrames() int { return len(s.frames) }
+
+// MappedFrames returns the number of currently mapped frames.
+func (s *Space) MappedFrames() int { return s.mapped }
+
+// Mapped reports whether frame f is currently mapped.
+func (s *Space) Mapped(f Frame) bool {
+	return int(f) < len(s.frames) && s.frames[f] != nil
+}
+
+// MapFrame maps a fresh zeroed frame and returns its number. Recycled
+// frame numbers are reused FIFO.
+func (s *Space) MapFrame() Frame {
+	var f Frame
+	if len(s.free) > 0 {
+		f = s.free[0]
+		s.free = s.free[1:]
+	} else {
+		f = Frame(len(s.frames))
+		s.frames = append(s.frames, nil)
+	}
+	s.frames[f] = make([]byte, s.frameBytes)
+	s.mapped++
+	if s.OnMap != nil {
+		s.OnMap()
+	}
+	return f
+}
+
+// UnmapFrame releases frame f. Touching its addresses afterwards panics,
+// which is the simulated equivalent of a segfault.
+func (s *Space) UnmapFrame(f Frame) {
+	if !s.Mapped(f) {
+		panic(fmt.Sprintf("heap: unmap of unmapped frame %d", f))
+	}
+	s.frames[f] = nil
+	s.free = append(s.free, f)
+	s.mapped--
+	if s.OnUnmap != nil {
+		s.OnUnmap()
+	}
+}
+
+// MapSpan maps n consecutive fresh frames (for a large object spanning
+// frames) and returns the first. Span frame numbers are always newly
+// minted — the single-frame recycle queue is not consulted — so the
+// addresses are guaranteed contiguous.
+func (s *Space) MapSpan(n int) Frame {
+	if n < 1 {
+		panic("heap: MapSpan of non-positive length")
+	}
+	f := Frame(len(s.frames))
+	for i := 0; i < n; i++ {
+		s.frames = append(s.frames, make([]byte, s.frameBytes))
+		s.mapped++
+		if s.OnMap != nil {
+			s.OnMap()
+		}
+	}
+	return f
+}
+
+// UnmapSpan releases the n frames of a span mapped with MapSpan. The
+// frame numbers are recycled individually.
+func (s *Space) UnmapSpan(f Frame, n int) {
+	for i := 0; i < n; i++ {
+		s.UnmapFrame(f + Frame(i))
+	}
+}
+
+// slab returns the backing bytes of the frame containing a, faulting if
+// the address is unmapped or misaligned.
+func (s *Space) slab(a Addr) []byte {
+	f := uint32(a) >> s.frameShift
+	if int(f) >= len(s.frames) || s.frames[f] == nil {
+		panic(fmt.Sprintf("heap: fault at %v (frame %d unmapped)", a, f))
+	}
+	return s.frames[f]
+}
+
+// Word reads the word at byte address a.
+func (s *Space) Word(a Addr) uint32 {
+	if a&3 != 0 {
+		panic(fmt.Sprintf("heap: misaligned read at %v", a))
+	}
+	b := s.slab(a)
+	off := uint32(a) & uint32(s.frameBytes-1)
+	return uint32(b[off]) | uint32(b[off+1])<<8 | uint32(b[off+2])<<16 | uint32(b[off+3])<<24
+}
+
+// SetWord writes the word at byte address a.
+func (s *Space) SetWord(a Addr, v uint32) {
+	if a&3 != 0 {
+		panic(fmt.Sprintf("heap: misaligned write at %v", a))
+	}
+	b := s.slab(a)
+	off := uint32(a) & uint32(s.frameBytes-1)
+	b[off] = byte(v)
+	b[off+1] = byte(v >> 8)
+	b[off+2] = byte(v >> 16)
+	b[off+3] = byte(v >> 24)
+}

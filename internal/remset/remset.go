@@ -1,0 +1,180 @@
+// Package remset implements the paper's remembered sets (§3.3.2): one
+// distinct set per (source frame, target frame) pair, holding the
+// addresses of pointer slots whose stored reference crosses from the
+// source frame into the target frame in the "interesting" direction
+// (target collected before source).
+//
+// Keying by frame pair gives the two properties the paper relies on:
+// all sets relating to a frame can be deleted trivially when the frame is
+// collected, and sets between two frames that happen to be collected
+// together can be ignored wholesale.
+package remset
+
+import (
+	"fmt"
+	"sort"
+
+	"beltway/internal/heap"
+)
+
+// pair identifies a (source frame, target frame) remembered set,
+// mirroring the paper's rsidx = (s << REMSET_SHIFT) | t.
+type pair struct {
+	src, tgt heap.Frame
+}
+
+// set is one per-pair remembered set. Entries are slot addresses and are
+// deduplicated, as GCTk's hash-based remsets were; the insert attempt
+// count (for barrier cost accounting) is tracked by the caller.
+type set struct {
+	src, tgt heap.Frame
+	slots    map[heap.Addr]struct{}
+}
+
+// DebugSlot, when nonzero, logs every Insert/delete affecting that slot
+// address (test instrumentation; zero in production).
+var DebugSlot heap.Addr
+
+// Table holds all remembered sets of a running collector.
+type Table struct {
+	sets  map[pair]*set
+	total int
+
+	// single-entry insert cache: pointer stores cluster heavily by
+	// (source, target) frame pair, so this avoids most map lookups.
+	lastPair pair
+	lastSet  *set
+}
+
+// NewTable returns an empty remembered-set table.
+func NewTable() *Table {
+	return &Table{sets: make(map[pair]*set)}
+}
+
+// Insert records slot (the address of a pointer field in frame src whose
+// value points into frame tgt). It reports whether the entry was newly
+// stored (false means it was a duplicate).
+func (t *Table) Insert(src, tgt heap.Frame, slot heap.Addr) bool {
+	p := pair{src, tgt}
+	s := t.lastSet
+	if s == nil || t.lastPair != p {
+		s = t.sets[p]
+		if s == nil {
+			s = &set{src: src, tgt: tgt, slots: make(map[heap.Addr]struct{})}
+			t.sets[p] = s
+		}
+		t.lastPair, t.lastSet = p, s
+	}
+	if _, dup := s.slots[slot]; dup {
+		return false
+	}
+	s.slots[slot] = struct{}{}
+	t.total++
+	if DebugSlot != 0 && slot == DebugSlot {
+		fmt.Printf("remset: insert (%d,%d) slot %v\n", src, tgt, slot)
+	}
+	return true
+}
+
+// DeleteFrame removes every set in which f appears as source or target.
+// Collected frames call this: entries out of a collected frame die with
+// it (survivors re-insert during scanning), and entries into a collected
+// frame have been consumed.
+func (t *Table) DeleteFrame(f heap.Frame) {
+	for p, s := range t.sets {
+		if p.src == f || p.tgt == f {
+			if DebugSlot != 0 {
+				if _, ok := s.slots[DebugSlot]; ok {
+					fmt.Printf("remset: DeleteFrame(%d) drops (%d,%d) holding slot %v\n",
+						f, p.src, p.tgt, DebugSlot)
+				}
+			}
+			t.total -= len(s.slots)
+			delete(t.sets, p)
+		}
+	}
+	t.lastSet = nil
+}
+
+// TotalEntries returns the number of stored entries across all sets.
+func (t *Table) TotalEntries() int { return t.total }
+
+// EntriesTargeting counts stored entries whose target frame satisfies
+// inTarget. The remset trigger (§3.3.3) compares this against its
+// threshold.
+func (t *Table) EntriesTargeting(inTarget func(heap.Frame) bool) int {
+	n := 0
+	for p, s := range t.sets {
+		if inTarget(p.tgt) {
+			n += len(s.slots)
+		}
+	}
+	return n
+}
+
+// CollectRoots gathers, in deterministic order, every stored slot address
+// from sets whose target frame is condemned and whose source frame is NOT
+// condemned (sets between two condemned frames are ignored, per §3.3.2).
+// The matched sets are removed from the table; the caller deletes the
+// remaining sets touching condemned frames via DeleteFrame.
+func (t *Table) CollectRoots(condemned func(heap.Frame) bool) []heap.Addr {
+	var matched []*set
+	for p, s := range t.sets {
+		if condemned(p.tgt) && !condemned(p.src) {
+			if DebugSlot != 0 {
+				if _, ok := s.slots[DebugSlot]; ok {
+					fmt.Printf("remset: CollectRoots consumes (%d,%d) holding slot %v\n",
+						p.src, p.tgt, DebugSlot)
+				}
+			}
+			matched = append(matched, s)
+			t.total -= len(s.slots)
+			delete(t.sets, p)
+		}
+	}
+	t.lastSet = nil
+	// Deterministic order: by (src, tgt), then slot address.
+	sort.Slice(matched, func(i, j int) bool {
+		if matched[i].src != matched[j].src {
+			return matched[i].src < matched[j].src
+		}
+		return matched[i].tgt < matched[j].tgt
+	})
+	var out []heap.Addr
+	for _, s := range matched {
+		start := len(out)
+		for a := range s.slots {
+			out = append(out, a)
+		}
+		slice := out[start:]
+		sort.Slice(slice, func(i, j int) bool { return slice[i] < slice[j] })
+	}
+	return out
+}
+
+// NumSets returns the number of live (source, target) sets.
+func (t *Table) NumSets() int { return len(t.sets) }
+
+// AnyEntry reports whether any non-empty set's (source, target) pair
+// satisfies match. The MOS train-death test uses it to ask "does any
+// remembered pointer enter this train from outside it?".
+func (t *Table) AnyEntry(match func(src, tgt heap.Frame) bool) bool {
+	for p, s := range t.sets {
+		if len(s.slots) > 0 && match(p.src, p.tgt) {
+			return true
+		}
+	}
+	return false
+}
+
+// Contains reports whether the (src, tgt) set holds slot. It exists for
+// the heap invariant checker; the collector itself never needs point
+// lookups.
+func (t *Table) Contains(src, tgt heap.Frame, slot heap.Addr) bool {
+	s := t.sets[pair{src, tgt}]
+	if s == nil {
+		return false
+	}
+	_, ok := s.slots[slot]
+	return ok
+}

@@ -1,0 +1,127 @@
+package stats
+
+// Clock is the deterministic timeline of a single run. All mutator and
+// collector work is charged to the clock in cost units; pauses (intervals
+// during which the collector, not the mutator, is running) are recorded so
+// that GC time, mutator time and MMU curves can be derived afterwards.
+//
+// Clock is not safe for concurrent use; the simulated mutator is single
+// threaded, as were the paper's benchmarks.
+type Clock struct {
+	Costs CostModel
+
+	now       float64
+	inPause   bool
+	pauseFrom float64
+	pauses    []Pause
+
+	Counters Counters
+}
+
+// Pause is one stop-the-world collection interval on the cost timeline.
+type Pause struct {
+	Start, End float64
+}
+
+// Duration returns the pause length in cost units.
+func (p Pause) Duration() float64 { return p.End - p.Start }
+
+// Counters aggregates raw event counts for a run. They are exact work
+// counts, independent of the cost model, and are what the tests assert on.
+type Counters struct {
+	BytesAllocated    uint64
+	ObjectsAllocated  uint64
+	PointerStores     uint64
+	BarrierSlowPaths  uint64
+	RemsetInserts     uint64
+	RemsetEntriesGC   uint64 // remset entries examined during collections
+	BytesCopied       uint64
+	ObjectsCopied     uint64
+	SlotsScanned      uint64
+	RootsScanned      uint64
+	Collections       uint64
+	FullCollections   uint64 // collections whose condemned set spanned >= the whole usable heap
+	FramesMapped      uint64
+	FramesUnmapped    uint64
+	BootBytesScanned  uint64
+	PageFaultBytes    uint64
+	CardsScanned      uint64 // dirty cards processed at collections (card barrier)
+	PretenuredBytes   uint64 // bytes allocated directly on older belts
+	LOSBytesAllocated uint64 // bytes allocated in the large object space
+	LOSBytesSwept     uint64 // large-object bytes reclaimed by sweeps
+}
+
+// NewClock returns a clock using the given cost model.
+func NewClock(c CostModel) *Clock {
+	return &Clock{Costs: c}
+}
+
+// Now returns the current time in cost units.
+func (c *Clock) Now() float64 { return c.now }
+
+// Advance charges n cost units to the timeline.
+func (c *Clock) Advance(n float64) { c.now += n }
+
+// BeginPause marks the start of a stop-the-world collection.
+// Nested pauses are not allowed.
+func (c *Clock) BeginPause() {
+	if c.inPause {
+		panic("stats: nested BeginPause")
+	}
+	c.inPause = true
+	c.pauseFrom = c.now
+}
+
+// EndPause marks the end of the current collection and records the pause.
+func (c *Clock) EndPause() {
+	if !c.inPause {
+		panic("stats: EndPause without BeginPause")
+	}
+	c.inPause = false
+	c.pauses = append(c.pauses, Pause{Start: c.pauseFrom, End: c.now})
+}
+
+// InPause reports whether a collection is currently charged to the clock.
+func (c *Clock) InPause() bool { return c.inPause }
+
+// Pauses returns the recorded pause intervals in timeline order.
+func (c *Clock) Pauses() []Pause { return c.pauses }
+
+// GCTime returns total time spent in collections, in cost units.
+func (c *Clock) GCTime() float64 {
+	var t float64
+	for _, p := range c.pauses {
+		t += p.Duration()
+	}
+	return t
+}
+
+// TotalTime returns the full elapsed timeline, in cost units.
+func (c *Clock) TotalTime() float64 { return c.now }
+
+// MutatorTime returns TotalTime minus GCTime.
+func (c *Clock) MutatorTime() float64 { return c.TotalTime() - c.GCTime() }
+
+// GCFraction returns the fraction of the timeline spent in GC, in [0,1].
+func (c *Clock) GCFraction() float64 {
+	if c.now == 0 {
+		return 0
+	}
+	return c.GCTime() / c.now
+}
+
+// MaxPause returns the longest single pause, in cost units.
+func (c *Clock) MaxPause() float64 {
+	var m float64
+	for _, p := range c.pauses {
+		if d := p.Duration(); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Seconds converts cost units to nominal seconds for display (see
+// CyclesPerSecond). Use only for axis labels, never for comparison with
+// the paper's absolute numbers.
+func Seconds(costUnits float64) float64 { return costUnits / CyclesPerSecond }

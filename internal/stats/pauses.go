@@ -1,0 +1,45 @@
+package stats
+
+import "sort"
+
+// PauseStats summarizes a run's pause-time distribution — the simple
+// responsiveness measures (§4.3 notes their limits, which is why the
+// suite also computes MMU curves; both views are useful).
+type PauseStats struct {
+	Count  int
+	Total  float64 // sum of pauses, cost units
+	Mean   float64
+	Median float64
+	P90    float64
+	P99    float64
+	Max    float64
+}
+
+// SummarizePauses computes the distribution of the given pauses.
+func SummarizePauses(pauses []Pause) PauseStats {
+	s := PauseStats{Count: len(pauses)}
+	if len(pauses) == 0 {
+		return s
+	}
+	ds := make([]float64, len(pauses))
+	for i, p := range pauses {
+		ds[i] = p.Duration()
+		s.Total += ds[i]
+	}
+	sort.Float64s(ds)
+	s.Mean = s.Total / float64(len(ds))
+	s.Median = quantile(ds, 0.5)
+	s.P90 = quantile(ds, 0.9)
+	s.P99 = quantile(ds, 0.99)
+	s.Max = ds[len(ds)-1]
+	return s
+}
+
+// quantile returns the q-quantile of sorted xs by nearest-rank.
+func quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(xs)-1))
+	return xs[i]
+}

@@ -1,0 +1,155 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockAdvanceAndPauses(t *testing.T) {
+	c := NewClock(DefaultCosts())
+	c.Advance(100)
+	c.BeginPause()
+	c.Advance(40)
+	c.EndPause()
+	c.Advance(60)
+	c.BeginPause()
+	c.Advance(10)
+	c.EndPause()
+
+	if got := c.TotalTime(); got != 210 {
+		t.Errorf("TotalTime = %v", got)
+	}
+	if got := c.GCTime(); got != 50 {
+		t.Errorf("GCTime = %v", got)
+	}
+	if got := c.MutatorTime(); got != 160 {
+		t.Errorf("MutatorTime = %v", got)
+	}
+	if got := c.MaxPause(); got != 40 {
+		t.Errorf("MaxPause = %v", got)
+	}
+	if got := c.GCFraction(); got < 0.23 || got > 0.24 {
+		t.Errorf("GCFraction = %v", got)
+	}
+	ps := c.Pauses()
+	if len(ps) != 2 || ps[0].Start != 100 || ps[0].End != 140 || ps[1].Start != 200 {
+		t.Errorf("pauses wrong: %+v", ps)
+	}
+}
+
+func TestClockPauseMisuse(t *testing.T) {
+	c := NewClock(DefaultCosts())
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("EndPause without BeginPause did not panic")
+			}
+		}()
+		c.EndPause()
+	}()
+	c.BeginPause()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("nested BeginPause did not panic")
+			}
+		}()
+		c.BeginPause()
+	}()
+	if !c.InPause() {
+		t.Error("InPause false during pause")
+	}
+}
+
+func TestGCFractionEmptyClock(t *testing.T) {
+	c := NewClock(DefaultCosts())
+	if c.GCFraction() != 0 {
+		t.Error("empty clock GCFraction nonzero")
+	}
+	if c.MaxPause() != 0 {
+		t.Error("empty clock MaxPause nonzero")
+	}
+}
+
+func TestPauseAccountingInvariant(t *testing.T) {
+	// Property: for any interleaving of mutator and GC advances,
+	// GCTime + MutatorTime == TotalTime and GCTime == sum of pauses.
+	prop := func(steps []uint16) bool {
+		c := NewClock(DefaultCosts())
+		inPause := false
+		for i, s := range steps {
+			d := float64(s%1000) + 1
+			if i%3 == 2 {
+				if inPause {
+					c.EndPause()
+				} else {
+					c.BeginPause()
+				}
+				inPause = !inPause
+			}
+			c.Advance(d)
+		}
+		if inPause {
+			c.EndPause()
+		}
+		var sum float64
+		for _, p := range c.Pauses() {
+			if p.End < p.Start {
+				return false
+			}
+			sum += p.Duration()
+		}
+		return sum == c.GCTime() && c.GCTime()+c.MutatorTime() == c.TotalTime()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultCostsArePositive(t *testing.T) {
+	c := DefaultCosts()
+	for name, v := range map[string]float64{
+		"AllocByte": c.AllocByte, "BarrierFast": c.BarrierFast,
+		"BarrierSlow": c.BarrierSlow, "FieldAccess": c.FieldAccess,
+		"MutatorOp": c.MutatorOp, "GCSetup": c.GCSetup,
+		"RootSlot": c.RootSlot, "CopyByte": c.CopyByte,
+		"ScanSlot": c.ScanSlot, "RemsetEntry": c.RemsetEntry,
+		"BootScanByte": c.BootScanByte, "FrameOp": c.FrameOp,
+		"PageByte": c.PageByte,
+	} {
+		if v <= 0 {
+			t.Errorf("default cost %s = %v, want > 0", name, v)
+		}
+	}
+	// The ordering the figures rely on: remembering a pointer costs
+	// more than the fast-path test.
+	if c.BarrierSlow <= c.BarrierFast {
+		t.Error("slow barrier path not more expensive than fast path")
+	}
+}
+
+func TestSummarizePauses(t *testing.T) {
+	var pauses []Pause
+	at := 0.0
+	// Ten pauses of 1..10 units.
+	for i := 1; i <= 10; i++ {
+		pauses = append(pauses, Pause{Start: at, End: at + float64(i)})
+		at += float64(i) + 5
+	}
+	s := SummarizePauses(pauses)
+	if s.Count != 10 || s.Total != 55 || s.Max != 10 {
+		t.Errorf("count/total/max = %d/%v/%v", s.Count, s.Total, s.Max)
+	}
+	if s.Mean != 5.5 {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	if s.Median < 5 || s.Median > 6 {
+		t.Errorf("median = %v", s.Median)
+	}
+	if s.P90 < 9 || s.P90 > 10 {
+		t.Errorf("p90 = %v", s.P90)
+	}
+	if z := SummarizePauses(nil); z.Count != 0 || z.Max != 0 {
+		t.Error("empty distribution not zero")
+	}
+}

@@ -1,0 +1,167 @@
+package vm
+
+import (
+	"fmt"
+	"sort"
+
+	"beltway/internal/gc"
+	"beltway/internal/heap"
+)
+
+// mirror is the shadow copy of one simulated object, keyed by its
+// allocation serial (which survives moves, unlike its address).
+type mirror struct {
+	t      *heap.TypeDesc
+	length int
+	refs   []uint32 // referent serials; 0 means nil
+	data   []uint32
+}
+
+// Validator maintains a native-Go shadow of the entire simulated object
+// graph and, after every collection, verifies that the collector
+// preserved it: every shadow-reachable object must still exist exactly
+// once, with the same type, length, data words and (serial-level)
+// outgoing references. It catches lost objects, wild forwarding, missed
+// remembered-set entries, double copies and data corruption.
+type Validator struct {
+	mut     *Mutator
+	mirrors map[uint32]*mirror
+	checks  int
+	// Failures collects diagnostics; Check panics on the first failure
+	// by default so test output points at the offending collection.
+	PanicOnFailure bool
+}
+
+func newValidator(m *Mutator) *Validator {
+	v := &Validator{mut: m, mirrors: make(map[uint32]*mirror), PanicOnFailure: true}
+	if hk, ok := m.C.(gc.Hookable); ok {
+		hk.SetHooks(gc.Hooks{PostGC: func() {
+			if err := v.Check(); err != nil {
+				if v.PanicOnFailure {
+					panic(err)
+				}
+			}
+		}})
+	}
+	return v
+}
+
+// Checks returns how many post-GC validations have run.
+func (v *Validator) Checks() int { return v.checks }
+
+func (v *Validator) serialOf(a heap.Addr) uint32 {
+	if a == heap.Nil {
+		return 0
+	}
+	return v.mut.C.Space().Serial(a)
+}
+
+func (v *Validator) noteAlloc(a heap.Addr, t *heap.TypeDesc, length int) {
+	s := v.mut.C.Space()
+	mir := &mirror{t: t, length: length}
+	if n := t.NumRefs(length); n > 0 {
+		mir.refs = make([]uint32, n)
+	}
+	if n := s.DataWords(a); n > 0 {
+		mir.data = make([]uint32, n)
+	}
+	v.mirrors[s.Serial(a)] = mir
+}
+
+func (v *Validator) noteSetRef(obj heap.Addr, i int, val heap.Addr) {
+	v.mirrors[v.serialOf(obj)].refs[i] = v.serialOf(val)
+}
+
+func (v *Validator) noteSetData(obj heap.Addr, i int, val uint32) {
+	v.mirrors[v.serialOf(obj)].data[i] = val
+}
+
+// Check verifies the heap against the shadow graph. It is invoked
+// automatically after every collection and may be called manually.
+func (v *Validator) Check() error {
+	v.checks++
+	sp := v.mut.C.Space()
+
+	// Index every object currently in the heap by serial.
+	addrOf := make(map[uint32]heap.Addr, len(v.mirrors))
+	var dup error
+	v.mut.C.ForEachObject(func(a heap.Addr) bool {
+		ser := sp.Serial(a)
+		if prev, ok := addrOf[ser]; ok {
+			dup = fmt.Errorf("vm: serial %d present twice, at %v and %v", ser, prev, a)
+			return false
+		}
+		addrOf[ser] = a
+		return true
+	})
+	if dup != nil {
+		return dup
+	}
+
+	// Shadow-reachable serials, from the root table.
+	reach := make(map[uint32]bool)
+	var stack []uint32
+	v.mut.roots.Walk(func(a heap.Addr) heap.Addr {
+		if ser := sp.Serial(a); !reach[ser] {
+			reach[ser] = true
+			stack = append(stack, ser)
+		}
+		return a
+	})
+	for len(stack) > 0 {
+		ser := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		mir := v.mirrors[ser]
+		if mir == nil {
+			return fmt.Errorf("vm: reachable serial %d has no mirror", ser)
+		}
+		for _, rs := range mir.refs {
+			if rs != 0 && !reach[rs] {
+				reach[rs] = true
+				stack = append(stack, rs)
+			}
+		}
+	}
+
+	// Every reachable object must exist, intact.
+	serials := make([]uint32, 0, len(reach))
+	for ser := range reach {
+		serials = append(serials, ser)
+	}
+	sort.Slice(serials, func(i, j int) bool { return serials[i] < serials[j] })
+	for _, ser := range serials {
+		a, ok := addrOf[ser]
+		if !ok {
+			return fmt.Errorf("vm: reachable object serial %d lost by the collector", ser)
+		}
+		mir := v.mirrors[ser]
+		if got := sp.TypeOf(a); got != mir.t {
+			return fmt.Errorf("vm: serial %d at %v: type %s, want %s", ser, a, got.Name, mir.t.Name)
+		}
+		if got := sp.Length(a); got != mir.length {
+			return fmt.Errorf("vm: serial %d at %v: length %d, want %d", ser, a, got, mir.length)
+		}
+		for i, want := range mir.refs {
+			ra := sp.GetRef(a, i)
+			var got uint32
+			if ra != heap.Nil {
+				got = sp.Serial(ra)
+			}
+			if got != want {
+				return fmt.Errorf("vm: serial %d at %v: ref slot %d is serial %d, want %d",
+					ser, a, i, got, want)
+			}
+		}
+		for i, want := range mir.data {
+			if got := sp.GetData(a, i); got != want {
+				return fmt.Errorf("vm: serial %d at %v: data word %d is %#x, want %#x",
+					ser, a, i, got, want)
+			}
+		}
+	}
+	return nil
+}
+
+// LiveMirrors returns the number of shadow objects ever allocated (the
+// shadow graph is never pruned; the validator is a test facility).
+func (v *Validator) LiveMirrors() int { return len(v.mirrors) }

@@ -1,0 +1,176 @@
+package vm_test
+
+import (
+	"strings"
+	"testing"
+
+	"beltway/internal/collectors"
+	"beltway/internal/core"
+	"beltway/internal/gc"
+	"beltway/internal/heap"
+	"beltway/internal/vm"
+)
+
+func testMutator(t *testing.T) (*vm.Mutator, *heap.Registry) {
+	t.Helper()
+	types := heap.NewRegistry()
+	cfg := collectors.XX100(25, core.Options{HeapBytes: 1 << 20, FrameBytes: 8192})
+	h, err := core.New(cfg, types)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vm.New(h), types
+}
+
+func TestAllocAndFieldAccess(t *testing.T) {
+	m, types := testMutator(t)
+	node := types.DefineScalar("n", 2, 3)
+	arr := types.DefineRefArray("a")
+	err := m.Run(func() {
+		n := m.Alloc(node, 0)
+		a := m.Alloc(arr, 5)
+		m.SetData(n, 0, 7)
+		m.SetData(n, 2, 9)
+		m.SetRef(n, 0, a)
+		m.SetRef(a, 3, n)
+		if m.GetData(n, 0) != 7 || m.GetData(n, 2) != 9 {
+			t.Error("data round trip failed")
+		}
+		if m.Length(a) != 5 {
+			t.Error("Length wrong")
+		}
+		if m.TypeOf(n) != node || m.TypeOf(a) != arr {
+			t.Error("TypeOf wrong")
+		}
+		got := m.GetRef(a, 3)
+		if !m.SameObject(got, n) {
+			t.Error("GetRef/SameObject mismatch")
+		}
+		if m.RefIsNil(a, 0) != true || m.RefIsNil(a, 3) != false {
+			t.Error("RefIsNil wrong")
+		}
+		m.SetRefNil(n, 0)
+		if !m.RefIsNil(n, 0) {
+			t.Error("SetRefNil did not clear")
+		}
+		if m.Serial(n) == 0 || m.Serial(n) == m.Serial(a) {
+			t.Error("serials must be unique and nonzero")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNilDereferencePanics(t *testing.T) {
+	m, types := testMutator(t)
+	node := types.DefineScalar("n", 1, 1)
+	_ = node
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("nil dereference did not panic")
+		}
+		if !strings.Contains(r.(string), "nil dereference") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	m.GetData(gc.NilHandle, 0)
+}
+
+func TestRunConvertsOOM(t *testing.T) {
+	types := heap.NewRegistry()
+	cfg := collectors.BSS(core.Options{HeapBytes: 64 * 1024, FrameBytes: 4096})
+	h, err := core.New(cfg, types)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vm.New(h)
+	big := types.DefineWordArray("big")
+	err = m.Run(func() {
+		for {
+			m.AllocGlobal(big, 200)
+		}
+	})
+	if err == nil {
+		t.Fatal("unbounded allocation did not fail")
+	}
+}
+
+func TestRunPassesThroughOtherPanics(t *testing.T) {
+	m, _ := testMutator(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-OOM panic swallowed by Run")
+		}
+	}()
+	m.Run(func() { panic("boom") })
+}
+
+func TestKeepEscapesScope(t *testing.T) {
+	m, types := testMutator(t)
+	node := types.DefineScalar("n", 0, 1)
+	err := m.Run(func() {
+		var kept gc.Handle
+		m.Push()
+		tmp := m.Alloc(node, 0)
+		m.SetData(tmp, 0, 99)
+		kept = m.Keep(tmp)
+		m.Pop()
+		// tmp's handle is dead, kept must still work after a full GC.
+		m.Collect(true)
+		if m.GetData(kept, 0) != 99 {
+			t.Error("kept object lost")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidatorCatchesCorruption(t *testing.T) {
+	// Sabotage the heap behind the validator's back; Check must fail.
+	types := heap.NewRegistry()
+	cfg := collectors.XX100(25, core.Options{HeapBytes: 1 << 20, FrameBytes: 8192})
+	h, err := core.New(cfg, types)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vm.New(h)
+	v := m.EnableValidation()
+	v.PanicOnFailure = false
+	node := types.DefineScalar("n", 1, 1)
+	err = m.Run(func() {
+		a := m.Alloc(node, 0)
+		m.SetData(a, 0, 5)
+		if err := v.Check(); err != nil {
+			t.Fatalf("clean heap failed validation: %v", err)
+		}
+		// Corrupt the data word directly, bypassing the mutator.
+		addr := h.Roots().Get(a)
+		h.Space().SetData(addr, 0, 6)
+		if err := v.Check(); err == nil {
+			t.Error("validator missed data corruption")
+		}
+		h.Space().SetData(addr, 0, 5) // restore
+		// Corrupt a reference similarly.
+		b := m.Alloc(node, 0)
+		m.SetRef(a, 0, b)
+		h.Space().SetRef(addr, 0, heap.Nil)
+		if err := v.Check(); err == nil {
+			t.Error("validator missed reference corruption")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkAdvancesClock(t *testing.T) {
+	m, _ := testMutator(t)
+	before := m.C.Clock().Now()
+	m.Work(100)
+	if m.C.Clock().Now() <= before {
+		t.Error("Work did not advance the clock")
+	}
+}

@@ -1,0 +1,38 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"beltway/internal/collectors"
+	"beltway/internal/core"
+	"beltway/internal/heap"
+	"beltway/internal/vm"
+)
+
+// benchmarkWorkload measures end-to-end simulated-mutator throughput for
+// one benchmark body on a roomy heap (collector cost mostly excluded).
+func benchmarkWorkload(b *testing.B, name string) {
+	bench := Get(name)
+	for i := 0; i < b.N; i++ {
+		types := heap.NewRegistry()
+		h, err := core.New(collectors.XX100(25,
+			collectors.Options{HeapBytes: 8 << 20, FrameBytes: 8 * 1024}), types)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := vm.New(h)
+		ctx := &Ctx{M: m, Types: types, Rng: rand.New(rand.NewSource(1)), Scale: 0.1}
+		if err := m.Run(func() { bench.Body(ctx) }); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(h.Clock().Counters.BytesAllocated))
+	}
+}
+
+func BenchmarkWorkloadJess(b *testing.B)      { benchmarkWorkload(b, "jess") }
+func BenchmarkWorkloadRaytrace(b *testing.B)  { benchmarkWorkload(b, "raytrace") }
+func BenchmarkWorkloadDB(b *testing.B)        { benchmarkWorkload(b, "db") }
+func BenchmarkWorkloadJavac(b *testing.B)     { benchmarkWorkload(b, "javac") }
+func BenchmarkWorkloadJack(b *testing.B)      { benchmarkWorkload(b, "jack") }
+func BenchmarkWorkloadPseudoJBB(b *testing.B) { benchmarkWorkload(b, "pseudojbb") }

@@ -1,0 +1,94 @@
+package workload
+
+// DB models 209_db, an in-memory database: a large set of long-lived
+// records is repeatedly searched, shuffled and sorted. Paper Table 1:
+// 22MB min heap against only 102MB allocated — the largest live:alloc
+// ratio in the suite. GC volume is low; what dominates is mutator work
+// over the records (the paper: "in 209_db, garbage collection is not a
+// dominant factor... locality effects cause the variations"), and index
+// shuffling produces heavy old-to-old pointer-store traffic that
+// exercises the write barrier's fast path.
+func DB() *Benchmark {
+	return &Benchmark{
+		Name:           "db",
+		PaperMinHeapMB: 22,
+		PaperAllocMB:   102,
+		Body:           dbBody,
+	}
+}
+
+func dbBody(c *Ctx) {
+	m := c.M
+	record := c.Types.DefineScalar("db.record", 1, 12)
+	index := c.Types.DefineRefArray("db.index")
+	key := c.Types.DefineScalar("db.key", 0, 4)
+	cursor := c.Types.DefineScalar("db.cursor", 2, 2)
+
+	bootImage(c, 16)
+
+	// The database: records plus a (chunked) index over them. Long-lived.
+	nRec := c.N(10000)
+	idx := newTable(c, index, nRec)
+	for i := 0; i < nRec; i++ {
+		m.Push()
+		r := m.Alloc(record, 0)
+		for w := 0; w < 4; w++ {
+			m.SetData(r, w, c.Rng.Uint32())
+		}
+		idx.Set(m, i, r)
+		m.Pop()
+	}
+
+	ops := c.N(120000)
+	for op := 0; op < ops; op++ {
+		switch c.Rng.Intn(10) {
+		case 0, 1, 2, 3: // lookup: binary-search-like probe with a cursor
+			m.Push()
+			k := m.Alloc(key, 0)
+			m.SetData(k, 0, uint32(c.Rng.Intn(nRec)))
+			cu := m.Alloc(cursor, 0)
+			lo, hi := 0, nRec
+			for hi-lo > 1 {
+				mid := (lo + hi) / 2
+				rec := idx.Get(m, mid)
+				m.SetRef(cu, 0, rec)
+				if m.GetData(rec, 0)&1 == 0 {
+					lo = mid
+				} else {
+					hi = mid
+				}
+				m.Release(rec)
+				m.Work(2)
+			}
+			m.Pop()
+		case 4, 5, 6, 7, 8: // shuffle: swap index entries (old-to-old stores)
+			a, b := c.Rng.Intn(nRec), c.Rng.Intn(nRec)
+			m.Push()
+			ra := idx.Get(m, a)
+			rb := idx.Get(m, b)
+			idx.Set(m, a, rb)
+			idx.Set(m, b, ra)
+			m.Pop()
+			m.Work(1)
+		default: // replace a record (the only steady-state garbage)
+			m.Push()
+			i := c.Rng.Intn(nRec)
+			r := m.Alloc(record, 0)
+			m.SetData(r, 0, uint32(op))
+			idx.Set(m, i, r)
+			m.Pop()
+		}
+	}
+
+	// Final full shuffle pass: a burst of old-to-old stores.
+	for i := nRec - 1; i > 0; i-- {
+		j := c.Rng.Intn(i + 1)
+		m.Push()
+		ra := idx.Get(m, i)
+		rb := idx.Get(m, j)
+		idx.Set(m, i, rb)
+		idx.Set(m, j, ra)
+		m.Pop()
+		m.Work(1)
+	}
+}

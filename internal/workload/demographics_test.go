@@ -1,0 +1,148 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"beltway/internal/collectors"
+	"beltway/internal/core"
+	"beltway/internal/heap"
+	"beltway/internal/vm"
+)
+
+// measure runs a benchmark at small scale on a fixed collector and
+// returns the counters plus the collector for deeper inspection.
+func measure(t *testing.T, name string) (*core.Heap, float64) {
+	t.Helper()
+	b := Get(name)
+	if b == nil {
+		t.Fatalf("no benchmark %q", name)
+	}
+	types := heap.NewRegistry()
+	// A modest heap so nursery collections happen at a realistic rate.
+	cfg := collectors.XX100(25, collectors.Options{HeapBytes: 4 << 20, FrameBytes: 8 * 1024})
+	h, err := core.New(cfg, types)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vm.New(h)
+	ctx := &Ctx{M: m, Types: types, Rng: rand.New(rand.NewSource(3)), Scale: 0.25}
+	if err := m.Run(func() { b.Body(ctx) }); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	c := h.Clock().Counters
+	markCons := float64(c.BytesCopied) / float64(c.BytesAllocated)
+	return h, markCons
+}
+
+// TestJessDemographics: an expert system allocates torrents of
+// short-lived tokens — the suite's most nursery-friendly benchmark, so
+// its mark/cons ratio (bytes copied per byte allocated) must be low.
+func TestJessDemographics(t *testing.T) {
+	_, mc := measure(t, "jess")
+	if mc > 0.30 {
+		t.Errorf("jess mark/cons = %.3f; expected low survival (< 0.30)", mc)
+	}
+}
+
+// TestRaytraceDemographics: per-ray temporaries die immediately; only
+// the scene and image survive. Survival must be low.
+func TestRaytraceDemographics(t *testing.T) {
+	_, mc := measure(t, "raytrace")
+	if mc > 0.5 {
+		t.Errorf("raytrace mark/cons = %.3f; expected modest survival", mc)
+	}
+}
+
+// TestDBDemographics: db is the mutation-heavy, allocation-light
+// benchmark — pointer stores per byte allocated must dwarf the other
+// benchmarks', and most of its allocation must happen up front.
+func TestDBDemographics(t *testing.T) {
+	hdb, _ := measure(t, "db")
+	hjess, _ := measure(t, "jess")
+	db := hdb.Clock().Counters
+	jess := hjess.Clock().Counters
+	dbRate := float64(db.PointerStores) / float64(db.BytesAllocated)
+	jessRate := float64(jess.PointerStores) / float64(jess.BytesAllocated)
+	if dbRate < 2*jessRate {
+		t.Errorf("db stores/byte = %.3f not well above jess's %.3f", dbRate, jessRate)
+	}
+	// Old-to-old shuffling must actually hit the barrier slow path.
+	if db.BarrierSlowPaths == 0 {
+		t.Error("db produced no interesting pointer stores")
+	}
+}
+
+// TestJavacHasCrossIncrementCycles: javac's symbol/scope structures are
+// cyclic — verify cycles exist in the built graph by walking the heap:
+// some scope must be reachable from one of its own symbols.
+func TestJavacHasCrossIncrementCycles(t *testing.T) {
+	h, _ := measure(t, "javac")
+	sp := h.Space()
+	// Find a javac.sym whose scope's symbol chain leads back to it.
+	foundCycle := false
+	h.ForEachObject(func(a heap.Addr) bool {
+		if sp.TypeOf(a).Name != "javac.sym" {
+			return true
+		}
+		scope := sp.GetRef(a, 0)
+		if scope == heap.Nil {
+			return true
+		}
+		// Walk the scope's symbol chain (slot 1 head, peers via slot 1).
+		cur := sp.GetRef(scope, 1)
+		for steps := 0; cur != heap.Nil && steps < 64; steps++ {
+			if cur == a {
+				foundCycle = true
+				return false
+			}
+			cur = sp.GetRef(cur, 1)
+		}
+		return true
+	})
+	if !foundCycle {
+		t.Error("javac graph contains no scope<->symbol cycle")
+	}
+}
+
+// TestJackPhaseStructure: jack's phase structure gives it moderate
+// survival — neither the near-zero of pure temporaries nor db's
+// permanence: grammar and state structures live through a run, then die
+// in bulk at its end.
+func TestJackPhaseStructure(t *testing.T) {
+	_, mcJack := measure(t, "jack")
+	if mcJack < 0.02 || mcJack > 0.6 {
+		t.Errorf("jack mark/cons %.3f outside the phase-lifetime band [0.02, 0.6]", mcJack)
+	}
+}
+
+// TestPseudoJBBLiveSet: pseudojbb carries the suite's largest live set
+// relative to allocation; its live estimate at completion must dominate
+// the others'.
+func TestPseudoJBBLiveSet(t *testing.T) {
+	hjbb, _ := measure(t, "pseudojbb")
+	hjess, _ := measure(t, "jess")
+	if hjbb.LiveEstimate() <= hjess.LiveEstimate() {
+		t.Errorf("pseudojbb live (%d) not above jess live (%d)",
+			hjbb.LiveEstimate(), hjess.LiveEstimate())
+	}
+}
+
+// TestAllocationVolumeOrdering reflects Table 1's ordering at the
+// extremes: db allocates the least of the suite; jess and jack are near
+// the top.
+func TestAllocationVolumeOrdering(t *testing.T) {
+	vol := map[string]uint64{}
+	for _, b := range All() {
+		h, _ := measure(t, b.Name)
+		vol[b.Name] = h.Clock().Counters.BytesAllocated
+	}
+	for name, v := range vol {
+		if name != "db" && v <= vol["db"] {
+			t.Errorf("%s allocates %d <= db's %d; Table 1 ordering broken", name, v, vol["db"])
+		}
+	}
+	if vol["jess"] < vol["raytrace"] {
+		t.Errorf("jess (%d) should out-allocate raytrace (%d)", vol["jess"], vol["raytrace"])
+	}
+}
