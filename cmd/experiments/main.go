@@ -9,6 +9,19 @@
 //	experiments -exp table1 -scale 0.25  # smaller workloads
 //	experiments -list                    # show available experiments
 //
+// Runs execute in parallel on a worker pool (-jobs, default GOMAXPROCS);
+// every run is deterministic and independent, and results are reassembled
+// in a fixed order, so the tables are byte-identical for any -jobs value.
+// With -checkpoint FILE each completed run streams a JSONL record; a
+// killed sweep rerun with -resume skips the runs the file already holds:
+//
+//	experiments -exp all -jobs 8 -checkpoint run.jsonl
+//	experiments -exp all -jobs 8 -checkpoint run.jsonl -resume
+//
+// A diverging configuration can be bounded with -timeout (wall clock) or
+// -budget (simulated seconds, deterministic); either records a failure
+// for that run and the sweep continues.
+//
 // Output is a set of text tables, one data series per collector — the
 // same rows/series the paper plots. Absolute "seconds" are nominal cost
 // units; compare shapes, not magnitudes (see EXPERIMENTS.md).
@@ -18,10 +31,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"beltway/internal/experiments"
 	"beltway/internal/harness"
+	"beltway/internal/stats"
 	"beltway/internal/workload"
 )
 
@@ -37,8 +52,22 @@ func main() {
 		list     = flag.Bool("list", false, "list experiments and exit")
 		csvOut   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		benchSel = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all six)")
+
+		jobs = flag.Int("jobs", runtime.GOMAXPROCS(0),
+			"parallel runs (worker pool size); output is identical for any value")
+		checkpoint = flag.String("checkpoint", "",
+			"JSONL file streaming one record per completed run")
+		resume = flag.Bool("resume", false,
+			"load -checkpoint and skip runs it already holds (appends new records)")
+		timeout = flag.Duration("timeout", 0,
+			"per-run wall-clock budget (e.g. 30s; 0 = none); exceeded runs are recorded as failures")
+		budget = flag.Float64("budget", 0,
+			"per-run cost budget in nominal seconds of simulated time (0 = none); exceeded runs abort deterministically")
 	)
 	flag.Parse()
+	if *resume && *checkpoint == "" {
+		fatalf("-resume requires -checkpoint")
+	}
 
 	if *list {
 		for _, e := range experiments.Registry() {
@@ -55,8 +84,18 @@ func main() {
 	if *physMB >= 0 {
 		env.PhysMemBytes = *physMB * 1024 * 1024
 	}
+	if *budget > 0 {
+		env.CostBudget = *budget * stats.CyclesPerSecond
+	}
 
-	opts := experiments.Opts{Env: env, Points: *points}
+	opts := experiments.Opts{
+		Env:        env,
+		Points:     *points,
+		Jobs:       *jobs,
+		Checkpoint: *checkpoint,
+		Resume:     *resume,
+		Timeout:    *timeout,
+	}
 	if *benchSel != "" {
 		for _, name := range strings.Split(*benchSel, ",") {
 			b := workload.Get(strings.TrimSpace(name))
@@ -70,6 +109,7 @@ func main() {
 		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}
 	suite := experiments.New(opts)
+	defer suite.Close()
 
 	var ids []string
 	if *exp == "all" {

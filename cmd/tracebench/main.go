@@ -10,18 +10,25 @@
 //	tracebench -bench db -gcs "appel,25.25.100,bof:25"      # choose collectors
 //	tracebench -bench javac -record javac.trace             # record to file
 //	tracebench -trace javac.trace -gcs "cards:25.25.100"    # replay from file
+//	tracebench -bench jess -jobs 8                          # parallel replays
+//
+// Replays run in parallel on a worker pool (-jobs); the report rows are
+// printed in spec order, so output is identical for any -jobs value.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"strings"
 	"text/tabwriter"
 
 	"beltway/internal/collectors"
 	"beltway/internal/core"
+	"beltway/internal/engine"
 	"beltway/internal/harness"
 	"beltway/internal/heap"
 	"beltway/internal/stats"
@@ -40,6 +47,8 @@ func main() {
 		recordTo  = flag.String("record", "", "write the recorded trace to this file and exit")
 		replayArg = flag.String("trace", "", "replay this trace file instead of recording")
 		seed      = flag.Int64("seed", 1, "PRNG seed for recording")
+		jobs      = flag.Int("jobs", runtime.GOMAXPROCS(0),
+			"parallel replays (worker pool size); the report order is fixed")
 	)
 	flag.Parse()
 
@@ -113,8 +122,11 @@ func main() {
 		return
 	}
 
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "collector\tGCs\tfull\tcopied MB\tremset ins\tcards\tGC %\tmedian pause ms\tmax pause ms")
+	// Replays are independent — each gets a fresh heap and mutator over
+	// the shared read-only trace — so they run in parallel through the
+	// engine. A panicking or failing replay degrades to a "failed" row;
+	// rows print in spec order regardless of completion order.
+	var cfgs []core.Config
 	for _, spec := range strings.Split(*gcs, ",") {
 		spec = strings.TrimSpace(spec)
 		cfg, err := collectors.Parse(spec, collectors.Options{
@@ -122,22 +134,70 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		types := heap.NewRegistry()
-		h, err := core.New(cfg, types)
-		if err != nil {
-			fatalf("%v", err)
+		cfgs = append(cfgs, cfg)
+	}
+	type replayRow struct {
+		Collections     uint64  `json:"collections"`
+		FullCollections uint64  `json:"full_collections"`
+		CopiedMB        float64 `json:"copied_mb"`
+		RemsetInserts   uint64  `json:"remset_inserts"`
+		CardsScanned    uint64  `json:"cards_scanned"`
+		GCFraction      float64 `json:"gc_fraction"`
+		MedianPauseMS   float64 `json:"median_pause_ms"`
+		MaxPauseMS      float64 `json:"max_pause_ms"`
+	}
+	eng := engine.New(engine.Config{Workers: *jobs})
+	ejobs := make([]engine.Job, len(cfgs))
+	for i := range cfgs {
+		cfg := cfgs[i]
+		ejobs[i] = engine.Job{
+			Key: engine.Key{Experiment: "tracebench", Collector: cfg.Name, HeapBytes: heapBytes},
+			Run: func() (any, engine.Outcome, error) {
+				types := heap.NewRegistry()
+				h, err := core.New(cfg, types)
+				if err != nil {
+					return nil, "", err
+				}
+				m := vm.New(h)
+				if err := trace.Replay(tr, m); err != nil {
+					return nil, "", err
+				}
+				c := h.Clock().Counters
+				ps := stats.SummarizePauses(h.Clock().Pauses())
+				return replayRow{
+					Collections:     c.Collections,
+					FullCollections: c.FullCollections,
+					CopiedMB:        float64(c.BytesCopied) / (1 << 20),
+					RemsetInserts:   c.RemsetInserts,
+					CardsScanned:    c.CardsScanned,
+					GCFraction:      h.Clock().GCFraction(),
+					MedianPauseMS:   ps.Median / 733e3,
+					MaxPauseMS:      ps.Max / 733e3,
+				}, engine.OK, nil
+			},
 		}
-		m := vm.New(h)
-		if err := trace.Replay(tr, m); err != nil {
-			fmt.Fprintf(w, "%s\tfailed: %v\t\t\t\t\t\t\t\n", cfg.Name, err)
+	}
+	recs, err := eng.Run(ejobs)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "collector\tGCs\tfull\tcopied MB\tremset ins\tcards\tGC %\tmedian pause ms\tmax pause ms")
+	for i, rec := range recs {
+		if rec.Outcome != engine.OK {
+			fmt.Fprintf(w, "%s\tfailed: %s\t\t\t\t\t\t\t\n", cfgs[i].Name, rec.Error)
 			continue
 		}
-		c := h.Clock().Counters
-		ps := stats.SummarizePauses(h.Clock().Pauses())
+		var r replayRow
+		if err := json.Unmarshal(rec.Payload, &r); err != nil {
+			fmt.Fprintf(w, "%s\tfailed: %v\t\t\t\t\t\t\t\n", cfgs[i].Name, err)
+			continue
+		}
 		fmt.Fprintf(w, "%s\t%d\t%d\t%.2f\t%d\t%d\t%.1f%%\t%.3f\t%.3f\n",
-			cfg.Name, c.Collections, c.FullCollections,
-			float64(c.BytesCopied)/(1<<20), c.RemsetInserts, c.CardsScanned,
-			100*h.Clock().GCFraction(), ps.Median/733e3, ps.Max/733e3)
+			cfgs[i].Name, r.Collections, r.FullCollections,
+			r.CopiedMB, r.RemsetInserts, r.CardsScanned,
+			100*r.GCFraction, r.MedianPauseMS, r.MaxPauseMS)
 	}
 	w.Flush()
 }

@@ -1,0 +1,310 @@
+// Package engine schedules independent experiment jobs over a bounded
+// worker pool with fault isolation, JSONL checkpointing and resume.
+//
+// Every measurement in the evaluation is an independent, deterministic
+// (collector, benchmark, heap size) run, so the full cross-product behind
+// a figure is embarrassingly parallel. The engine exploits that while
+// keeping the failure and output semantics of the sequential path:
+//
+//   - jobs run on a pool of Workers goroutines (default GOMAXPROCS);
+//   - a panicking job is recorded with Outcome "panic" and the recovered
+//     message instead of killing the sweep;
+//   - an optional per-job wall-clock Timeout records Outcome "timeout"
+//     for runs that diverge (the abandoned goroutine is leaked, which is
+//     the best Go can do for uncooperative work — use the cost-unit
+//     budget in harness.Env to actually stop a simulated run);
+//   - completed jobs stream Records to a JSONL checkpoint file, and a
+//     resumed engine skips jobs whose key already has a completed record;
+//   - Run returns records in submission order regardless of completion
+//     order, so downstream aggregation is deterministic.
+//
+// The engine is generic: payloads are anything JSON-marshalable. The
+// harness layer (internal/harness.Executor) binds it to collector runs.
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Key identifies a job across process restarts. Experiment distinguishes
+// job families whose remaining fields would otherwise collide (e.g. the
+// pretenuring ablation reruns the same collector/benchmark/heap triple
+// under a different environment).
+type Key struct {
+	Experiment string `json:"experiment,omitempty"`
+	Collector  string `json:"collector,omitempty"`
+	Benchmark  string `json:"benchmark,omitempty"`
+	HeapBytes  int    `json:"heap_bytes,omitempty"`
+}
+
+// String renders the key in the stable "experiment/collector/benchmark/heap"
+// form used to index checkpoints.
+func (k Key) String() string {
+	return fmt.Sprintf("%s/%s/%s/%d", k.Experiment, k.Collector, k.Benchmark, k.HeapBytes)
+}
+
+// Outcome classifies how a job ended.
+type Outcome string
+
+const (
+	// OK: the job completed and produced a payload.
+	OK Outcome = "ok"
+	// OOM: the run completed by exhausting the configured heap — a valid,
+	// reproducible measurement (figures render it as a missing point).
+	OOM Outcome = "oom"
+	// Budget: the run exceeded its cost-unit budget and was aborted
+	// deterministically.
+	Budget Outcome = "budget"
+	// Panic: the job panicked; Error holds the recovered value.
+	Panic Outcome = "panic"
+	// Timeout: the job exceeded the engine's wall-clock Timeout.
+	Timeout Outcome = "timeout"
+	// Errored: the job returned a non-nil error.
+	Errored Outcome = "error"
+)
+
+// Completed reports whether the outcome is a finished, reproducible
+// measurement that a resumed run may reuse. Failures (panic, timeout,
+// error) are re-executed on resume.
+func (o Outcome) Completed() bool { return o == OK || o == OOM || o == Budget }
+
+// Job is one unit of work. Run returns a JSON-marshalable payload and may
+// refine the outcome (returning "" means OK); errors and panics are
+// captured by the engine.
+type Job struct {
+	Key Key
+	Run func() (payload any, outcome Outcome, err error)
+}
+
+// Record is the durable result of one job — one line of the JSONL
+// checkpoint. Payload carries the job's marshaled result for completed
+// outcomes.
+type Record struct {
+	Key        Key             `json:"key"`
+	Outcome    Outcome         `json:"outcome"`
+	Error      string          `json:"error,omitempty"`
+	DurationMS float64         `json:"duration_ms"`
+	Payload    json.RawMessage `json:"payload,omitempty"`
+
+	// Resumed marks records satisfied from the checkpoint rather than
+	// executed; it is process-local and not serialized.
+	Resumed bool `json:"-"`
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Workers bounds concurrent jobs; <= 0 means GOMAXPROCS.
+	Workers int
+	// Checkpoint is the JSONL record file; "" disables checkpointing.
+	Checkpoint string
+	// Resume loads the checkpoint before the first Run and skips jobs
+	// whose key already has a completed record. New records are appended.
+	Resume bool
+	// Timeout is the per-job wall-clock budget; 0 means none.
+	Timeout time.Duration
+	// Progress, if non-nil, receives one line per job completion.
+	Progress func(string)
+}
+
+// Engine executes batches of jobs. It may be shared across successive Run
+// calls (the checkpoint stays open in append mode and completed keys are
+// remembered across batches) and is safe for concurrent use.
+type Engine struct {
+	cfg Config
+	rep *Reporter
+
+	mu     sync.Mutex
+	inited bool
+	prior  map[string]Record // completed records by Key.String()
+	file   *os.File
+}
+
+// New creates an engine. The checkpoint file is not touched until the
+// first Run.
+func New(cfg Config) *Engine {
+	return &Engine{cfg: cfg, rep: newReporter(cfg.Progress), prior: map[string]Record{}}
+}
+
+// Reporter returns the engine's progress reporter.
+func (e *Engine) Reporter() *Reporter { return e.rep }
+
+// Close releases the checkpoint file, if any.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.file == nil {
+		return nil
+	}
+	f := e.file
+	e.file = nil
+	return f.Close()
+}
+
+func (e *Engine) init() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.inited {
+		return nil
+	}
+	if e.cfg.Checkpoint != "" {
+		if e.cfg.Resume {
+			prior, err := LoadCheckpoint(e.cfg.Checkpoint)
+			if err != nil {
+				return err
+			}
+			for k, rec := range prior {
+				if rec.Outcome.Completed() {
+					e.prior[k] = rec
+				}
+			}
+		}
+		flags := os.O_CREATE | os.O_WRONLY
+		if e.cfg.Resume {
+			flags |= os.O_APPEND
+		} else {
+			flags |= os.O_TRUNC
+		}
+		f, err := os.OpenFile(e.cfg.Checkpoint, flags, 0o644)
+		if err != nil {
+			return err
+		}
+		e.file = f
+	}
+	e.inited = true
+	return nil
+}
+
+// lookup returns a previously completed record for the key, if any.
+func (e *Engine) lookup(k Key) (Record, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rec, ok := e.prior[k.String()]
+	return rec, ok
+}
+
+// commit persists the record (when checkpointing) and remembers completed
+// outcomes so later batches sharing the key skip re-execution.
+func (e *Engine) commit(rec Record) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if rec.Outcome.Completed() {
+		e.prior[rec.Key.String()] = rec
+	}
+	if e.file != nil {
+		if _, err := e.file.Write(append(line, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run executes the jobs and returns one record per job, in submission
+// order. Job failures (panic, timeout, error) are reported in the records,
+// not as an error; the returned error is reserved for engine
+// infrastructure failures (unreadable or unwritable checkpoint).
+func (e *Engine) Run(jobs []Job) ([]Record, error) {
+	if err := e.init(); err != nil {
+		return nil, err
+	}
+	records := make([]Record, len(jobs))
+	if len(jobs) == 0 {
+		return records, nil
+	}
+	e.rep.add(len(jobs))
+
+	workers := e.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	var (
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		runErr  error
+	)
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				j := jobs[i]
+				if rec, ok := e.lookup(j.Key); ok {
+					rec.Resumed = true
+					records[i] = rec
+					e.rep.observe(rec)
+					continue
+				}
+				rec := e.execute(j)
+				if err := e.commit(rec); err != nil {
+					errOnce.Do(func() { runErr = err })
+				}
+				records[i] = rec
+				e.rep.observe(rec)
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return records, runErr
+}
+
+// execute runs one job with panic recovery and the optional timeout.
+func (e *Engine) execute(j Job) Record {
+	start := time.Now()
+	done := make(chan Record, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- Record{Key: j.Key, Outcome: Panic, Error: fmt.Sprint(r)}
+			}
+		}()
+		payload, out, err := j.Run()
+		if err != nil {
+			done <- Record{Key: j.Key, Outcome: Errored, Error: err.Error()}
+			return
+		}
+		if out == "" {
+			out = OK
+		}
+		raw, merr := json.Marshal(payload)
+		if merr != nil {
+			done <- Record{Key: j.Key, Outcome: Errored, Error: "payload: " + merr.Error()}
+			return
+		}
+		done <- Record{Key: j.Key, Outcome: out, Payload: raw}
+	}()
+
+	var rec Record
+	if e.cfg.Timeout > 0 {
+		timer := time.NewTimer(e.cfg.Timeout)
+		select {
+		case rec = <-done:
+			timer.Stop()
+		case <-timer.C:
+			// The job goroutine is abandoned; simulated runs should use a
+			// cost budget so the goroutine also terminates.
+			rec = Record{Key: j.Key, Outcome: Timeout,
+				Error: fmt.Sprintf("exceeded wall-clock budget %v", e.cfg.Timeout)}
+		}
+	} else {
+		rec = <-done
+	}
+	rec.DurationMS = float64(time.Since(start)) / float64(time.Millisecond)
+	return rec
+}

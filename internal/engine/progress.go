@@ -1,0 +1,99 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Progress is a point-in-time snapshot of an engine's work: jobs finished
+// out of jobs submitted so far, failures (non-completed outcomes),
+// checkpoint-resumed jobs, and an ETA extrapolated from the live
+// (non-resumed) completion rate.
+type Progress struct {
+	Done     int
+	Total    int
+	Failures int
+	Resumed  int
+	Elapsed  time.Duration
+	ETA      time.Duration // 0 when no live completions yet
+}
+
+// Reporter accumulates progress across an engine's Run calls and emits
+// one human-readable line per completed job. It is safe for concurrent
+// use.
+type Reporter struct {
+	emit func(string)
+
+	mu       sync.Mutex
+	total    int
+	done     int
+	failures int
+	resumed  int
+	started  time.Time
+}
+
+func newReporter(emit func(string)) *Reporter {
+	return &Reporter{emit: emit}
+}
+
+// add registers n newly submitted jobs.
+func (r *Reporter) add(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.started.IsZero() {
+		r.started = time.Now()
+	}
+	r.total += n
+}
+
+// observe records one completed job and emits a progress line.
+func (r *Reporter) observe(rec Record) {
+	r.mu.Lock()
+	r.done++
+	if rec.Resumed {
+		r.resumed++
+	}
+	if !rec.Outcome.Completed() {
+		r.failures++
+	}
+	p := r.snapshotLocked()
+	r.mu.Unlock()
+	if r.emit == nil {
+		return
+	}
+	status := string(rec.Outcome)
+	if rec.Resumed {
+		status = "cached"
+	}
+	line := fmt.Sprintf("[%d/%d] %-7s %s", p.Done, p.Total, status, rec.Key)
+	if rec.Error != "" {
+		line += " (" + rec.Error + ")"
+	}
+	if p.Failures > 0 {
+		line += fmt.Sprintf(" fail=%d", p.Failures)
+	}
+	if p.ETA > 0 && p.Done < p.Total {
+		line += fmt.Sprintf(" eta=%s", p.ETA.Round(time.Second))
+	}
+	r.emit(line)
+}
+
+// Snapshot returns the current progress.
+func (r *Reporter) Snapshot() Progress {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.snapshotLocked()
+}
+
+func (r *Reporter) snapshotLocked() Progress {
+	p := Progress{Done: r.done, Total: r.total, Failures: r.failures, Resumed: r.resumed}
+	if !r.started.IsZero() {
+		p.Elapsed = time.Since(r.started)
+	}
+	if live := r.done - r.resumed; live > 0 && r.done < r.total {
+		perJob := p.Elapsed / time.Duration(live)
+		p.ETA = perJob * time.Duration(r.total-r.done)
+	}
+	return p
+}

@@ -6,6 +6,7 @@ import (
 	"beltway/internal/collectors"
 	"beltway/internal/core"
 	"beltway/internal/harness"
+	"beltway/internal/workload"
 )
 
 // Ablations measures the design choices DESIGN.md calls out, holding the
@@ -101,32 +102,63 @@ func (s *Suite) Ablations() ([]harness.Table, error) {
 		},
 	}
 
-	var out []harness.Table
+	heapFor := func(bench *workload.Benchmark) int {
+		heapBytes := mins[bench.Name] * 3 / 2
+		return (heapBytes / s.opts.Env.FrameBytes) * s.opts.Env.FrameBytes
+	}
+
+	// All ablation measurements are independent, so they are submitted as
+	// one engine batch and the tables assembled afterwards in the fixed
+	// dimension/variant/benchmark order.
+	var specs []runSpec
 
 	// Pretenuring is a workload-side toggle (allocation sites), so it is
 	// measured outside the variant framework: same collector, same
-	// benchmark, long-lived allocation sites routed to the top belt.
+	// benchmark, long-lived allocation sites routed to the top belt. The
+	// environment differs from the suite's, so these runs bypass the
+	// result cache and carry a distinguishing checkpoint tag.
+	ptVariants := []string{"site-neutral", "pretenured"}
+	for _, name := range ptVariants {
+		env := s.opts.Env
+		env.Pretenure = name == "pretenured"
+		for _, bench := range s.opts.Benchmarks {
+			specs = append(specs, runSpec{
+				tag:       "pretenure",
+				col:       harness.Collector{Name: name, Make: base},
+				bench:     bench,
+				heapBytes: heapFor(bench),
+				env:       &env,
+			})
+		}
+	}
+	for _, dim := range dims {
+		for _, v := range dim.variants {
+			for _, bench := range s.opts.Benchmarks {
+				specs = append(specs, runSpec{
+					col:       harness.Collector{Name: v.name, Make: v.make},
+					bench:     bench,
+					heapBytes: heapFor(bench),
+				})
+			}
+		}
+	}
+	results, err := s.runMany(specs)
+	if err != nil {
+		return nil, err
+	}
+	next := 0
+	take := func() *harness.Result { r := results[next]; next++; return r }
+
 	pt := harness.Table{
 		Title: "Ablation: allocation-site pretenuring (Beltway 25.25.100 base)",
 		Headers: []string{"Variant", "Benchmark", "Total (s)", "GC (s)", "GC %",
 			"GCs", "Copied MB", "Pretenured MB"},
 	}
-	for _, pretenure := range []bool{false, true} {
-		name := "site-neutral"
-		if pretenure {
-			name = "pretenured"
-		}
-		env := s.opts.Env
-		env.Pretenure = pretenure
+	for _, name := range ptVariants {
 		for _, bench := range s.opts.Benchmarks {
-			heapBytes := mins[bench.Name] * 3 / 2
-			heapBytes = (heapBytes / env.FrameBytes) * env.FrameBytes
-			r, err := harness.RunOne(base(heapBytes), bench, env)
-			if err != nil {
-				return nil, err
-			}
-			if r.OOM {
-				pt.AddRow(name, bench.Name, "OOM", "-", "-", "-", "-", "-")
+			r := take()
+			if r.Incomplete() {
+				pt.AddRow(name, bench.Name, incompleteCell(r), "-", "-", "-", "-", "-")
 				continue
 			}
 			pt.AddRow(name, bench.Name,
@@ -139,6 +171,7 @@ func (s *Suite) Ablations() ([]harness.Table, error) {
 		}
 	}
 
+	var out []harness.Table
 	for _, dim := range dims {
 		t := harness.Table{
 			Title: dim.title,
@@ -147,15 +180,9 @@ func (s *Suite) Ablations() ([]harness.Table, error) {
 		}
 		for _, v := range dim.variants {
 			for _, bench := range s.opts.Benchmarks {
-				heapBytes := mins[bench.Name] * 3 / 2
-				heapBytes = (heapBytes / s.opts.Env.FrameBytes) * s.opts.Env.FrameBytes
-				col := harness.Collector{Name: v.name, Make: v.make}
-				r, err := s.run(col, bench, heapBytes)
-				if err != nil {
-					return nil, err
-				}
-				if r.OOM {
-					t.AddRow(v.name, bench.Name, "OOM", "-", "-", "-", "-", "-", "-")
+				r := take()
+				if r.Incomplete() {
+					t.AddRow(v.name, bench.Name, incompleteCell(r), "-", "-", "-", "-", "-", "-")
 					continue
 				}
 				t.AddRow(v.name, bench.Name,

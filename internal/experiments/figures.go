@@ -61,18 +61,24 @@ func (s *Suite) Table1() ([]harness.Table, error) {
 			"GCs @3x", "GCs @1x", "Paper min/alloc (MB)"},
 	}
 	appel := s.appel()
+	var specs []runSpec
 	for _, b := range s.opts.Benchmarks {
 		min := mins[b.Name]
-		small, err := s.run(appel, b, min)
-		if err != nil {
-			return nil, err
-		}
-		large, err := s.run(appel, b, 3*min)
-		if err != nil {
-			return nil, err
+		specs = append(specs,
+			runSpec{col: appel, bench: b, heapBytes: min},
+			runSpec{col: appel, bench: b, heapBytes: 3 * min})
+	}
+	results, err := s.runMany(specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range s.opts.Benchmarks {
+		small, large := results[2*i], results[2*i+1]
+		if small.Failure != "" || large.Failure != "" {
+			return nil, fmt.Errorf("experiments: table1 %s: %s%s", b.Name, small.Failure, large.Failure)
 		}
 		t.AddRow(b.Name,
-			harness.FmtMB(min),
+			harness.FmtMB(mins[b.Name]),
 			harness.FmtMB(int(large.Counters.BytesAllocated)),
 			fmt.Sprint(large.Collections),
 			fmt.Sprint(small.Collections),
@@ -134,7 +140,7 @@ func (s *Suite) Figure1() ([]harness.Table, error) {
 					r = cand
 				}
 			}
-			if r == nil || r.OOM {
+			if r == nil || r.Incomplete() {
 				rowA = append(rowA, "-")
 				rowB = append(rowB, "-")
 				continue
@@ -295,24 +301,41 @@ func (s *Suite) FigureMOS() ([]harness.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	var specs []runSpec
 	for _, col := range cols {
 		for _, b := range s.opts.Benchmarks {
 			heapBytes := mins[b.Name] * 3 / 2
 			heapBytes = (heapBytes / s.opts.Env.FrameBytes) * s.opts.Env.FrameBytes
-			r, err := s.run(col, b, heapBytes)
-			if err != nil {
-				return nil, err
-			}
-			if r.OOM {
-				t.AddRow(col.Name, b.Name, "OOM", "-")
-				continue
-			}
-			t.AddRow(col.Name, b.Name, fmt.Sprint(r.Collections),
-				fmt.Sprint(r.Counters.FullCollections))
+			specs = append(specs, runSpec{col: col, bench: b, heapBytes: heapBytes})
 		}
+	}
+	results, err := s.runMany(specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, sp := range specs {
+		r := results[i]
+		if r.Incomplete() {
+			t.AddRow(sp.col.Name, sp.bench.Name, incompleteCell(r), "-")
+			continue
+		}
+		t.AddRow(sp.col.Name, sp.bench.Name, fmt.Sprint(r.Collections),
+			fmt.Sprint(r.Counters.FullCollections))
 	}
 	out = append(out, t)
 	return out, nil
+}
+
+// incompleteCell renders why a run produced no measurement.
+func incompleteCell(r *harness.Result) string {
+	switch {
+	case r.OOM:
+		return "OOM"
+	case r.Aborted:
+		return "budget"
+	default:
+		return "failed"
+	}
 }
 
 // Figure11 reproduces the MMU (minimum mutator utilization) plots for
@@ -334,21 +357,32 @@ func (s *Suite) Figure11() ([]harness.Table, error) {
 		return nil, fmt.Errorf("experiments: figure 11 requires javac in the benchmark set")
 	}
 	cols := []harness.Collector{s.appel(), s.xx(10), s.xx100(10), s.xx(33), s.xx100(33)}
-	var out []harness.Table
-	for _, factor := range []float64{1.5, 3.0} {
+	factors := []float64{1.5, 3.0}
+	heaps := make([]int, len(factors))
+	var specs []runSpec
+	for fi, factor := range factors {
 		heap := int(float64(mins[bench.Name]) * factor)
 		heap = (heap / s.opts.Env.FrameBytes) * s.opts.Env.FrameBytes
+		heaps[fi] = heap
+		for _, col := range cols {
+			specs = append(specs, runSpec{col: col, bench: bench, heapBytes: heap})
+		}
+	}
+	results, err := s.runMany(specs)
+	if err != nil {
+		return nil, err
+	}
+	var out []harness.Table
+	for fi, factor := range factors {
+		heap := heaps[fi]
 		headers := []string{"Window (ms)"}
 		curves := make([]map[float64]float64, len(cols))
 		var windows []float64
 		for ci, col := range cols {
 			headers = append(headers, col.Name)
-			r, err := s.run(col, bench, heap)
-			if err != nil {
-				return nil, err
-			}
+			r := results[fi*len(cols)+ci]
 			curves[ci] = map[float64]float64{}
-			if r.OOM {
+			if r.Incomplete() {
 				continue
 			}
 			// Sample MMU at fixed log-spaced windows so the collectors

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"beltway/internal/harness"
+	"beltway/internal/workload"
+)
+
+// TestFig9DeterministicAcrossJobs is the determinism regression test for
+// the parallel engine: Figure 9 at -points 5 -scale 0.25 rendered with
+// one worker and with eight workers must produce identical tables,
+// character for character. Any divergence means a run observed shared
+// mutable state or results were assembled in completion order.
+func TestFig9DeterministicAcrossJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs fig9 twice at scale 0.25")
+	}
+	// Under the race detector the full six-benchmark sweep blows the test
+	// timeout, so shrink the workload; the determinism property under test
+	// is the same.
+	scale, points := 0.25, 5
+	var benches []*workload.Benchmark
+	if raceEnabled {
+		scale, points = 0.1, 3
+		benches = []*workload.Benchmark{workload.Get("jess"), workload.Get("javac")}
+	}
+	render := func(jobs int) string {
+		s := New(Opts{
+			Env:        harness.EnvForScale(scale),
+			Points:     points,
+			Benchmarks: benches,
+			Jobs:       jobs,
+		})
+		defer s.Close()
+		tables, err := s.Figure9()
+		if err != nil {
+			t.Fatalf("fig9 with %d jobs: %v", jobs, err)
+		}
+		var b strings.Builder
+		for _, tb := range tables {
+			b.WriteString(tb.String())
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	seq := render(1)
+	par := render(8)
+	if seq != par {
+		t.Errorf("fig9 tables differ between -jobs 1 and -jobs 8:\n--- jobs=1 ---\n%s\n--- jobs=8 ---\n%s", seq, par)
+	}
+}
+
+// TestSuiteCacheUnderConcurrency hammers the suite's singleflight caches
+// from eight goroutines: every goroutine asks for the same min-heap
+// search and the same measurement at once. Each must be executed exactly
+// once — the engine progress feed is the witness — and every caller must
+// observe the same result. Run with -race.
+func TestSuiteCacheUnderConcurrency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a min-heap search")
+	}
+	var pmu sync.Mutex
+	var lines []string
+	s := New(Opts{
+		Env:        harness.EnvForScale(0.1),
+		Points:     3,
+		Benchmarks: []*workload.Benchmark{workload.Get("jess")},
+		Jobs:       8,
+		Progress: func(line string) {
+			pmu.Lock()
+			lines = append(lines, line)
+			pmu.Unlock()
+		},
+	})
+	defer s.Close()
+
+	const goroutines = 8
+	results := make([]*harness.Result, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mins, err := s.MinHeaps()
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			results[g], errs[g] = s.run(s.appel(), workload.Get("jess"), 2*mins["jess"])
+		}()
+	}
+	wg.Wait()
+
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		if results[g] == nil || results[g].Incomplete() {
+			t.Fatalf("goroutine %d got unusable result %+v", g, results[g])
+		}
+		if results[g] != results[0] {
+			t.Errorf("goroutine %d observed a different *Result than goroutine 0; cache did not deduplicate", g)
+		}
+	}
+
+	pmu.Lock()
+	defer pmu.Unlock()
+	minLines, runLines := 0, 0
+	for _, l := range lines {
+		if strings.Contains(l, "minheap/") {
+			minLines++
+		} else {
+			runLines++
+		}
+	}
+	if minLines != 1 {
+		t.Errorf("min-heap search executed %d times, want 1:\n%s", minLines, strings.Join(lines, "\n"))
+	}
+	if runLines != 1 {
+		t.Errorf("measurement executed %d times, want 1:\n%s", runLines, strings.Join(lines, "\n"))
+	}
+	if len(s.cache) != 1 {
+		t.Errorf("cache holds %d entries, want 1", len(s.cache))
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled mirrors whether the race detector is compiled in; heavy
+// sweep tests shrink their workloads under race to stay within the test
+// timeout (the detector costs ~5-10x on these allocation-dense loops).
+const raceEnabled = false

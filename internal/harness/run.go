@@ -26,6 +26,11 @@ type Env struct {
 	Scale        float64 // workload scale
 	Seed         int64
 	Pretenure    bool // route known-long-lived allocation sites to older belts
+	// CostBudget, when positive, aborts a run once its clock passes this
+	// many cost units; the partial measurement is returned with
+	// Result.Aborted set. This is the deterministic counterpart of a
+	// wall-clock timeout: it actually stops the simulated run.
+	CostBudget float64
 }
 
 // DefaultEnv mirrors the paper's testbed at scale 1: see EnvForScale.
@@ -74,7 +79,19 @@ type Result struct {
 
 	Collections uint64
 	OOM         bool // run did not complete at this heap size
+	// Aborted marks a run stopped by Env.CostBudget; the metrics are the
+	// partial timeline up to the abort.
+	Aborted bool `json:",omitempty"`
+	// Failure records an execution failure (panic, timeout, job error)
+	// observed by the engine instead of a measurement. All metric fields
+	// are zero; aggregation treats the point like an OOM.
+	Failure string `json:",omitempty"`
 }
+
+// Incomplete reports whether the run produced no valid end-to-end
+// measurement: out of memory, budget-aborted, or failed. Aggregation
+// renders such points as missing data.
+func (r *Result) Incomplete() bool { return r.OOM || r.Aborted || r.Failure != "" }
 
 // GCFraction returns the share of total time spent collecting.
 func (r *Result) GCFraction() float64 {
@@ -107,27 +124,42 @@ func (r *Result) MMU(points int) mmu.Curve {
 }
 
 // RunOne executes one benchmark on one collector configuration.
-// An out-of-memory completion is reported via Result.OOM, not an error;
-// errors are reserved for misconfiguration.
-func RunOne(cfg core.Config, bench *workload.Benchmark, env Env) (*Result, error) {
+// An out-of-memory completion is reported via Result.OOM, not an error,
+// and a cost-budget abort via Result.Aborted; errors are reserved for
+// misconfiguration.
+func RunOne(cfg core.Config, bench *workload.Benchmark, env Env) (res *Result, err error) {
 	types := heap.NewRegistry()
-	h, err := core.New(cfg, types)
-	if err != nil {
-		return nil, fmt.Errorf("harness: %s on %s: %w", cfg.Name, bench.Name, err)
+	h, herr := core.New(cfg, types)
+	if herr != nil {
+		return nil, fmt.Errorf("harness: %s on %s: %w", cfg.Name, bench.Name, herr)
 	}
+	h.Clock().Budget = env.CostBudget
+	snapshot := func() *Result {
+		return &Result{
+			Collector:   cfg.Name,
+			Benchmark:   bench.Name,
+			HeapBytes:   cfg.HeapBytes,
+			TotalTime:   h.Clock().TotalTime(),
+			GCTime:      h.Clock().GCTime(),
+			MaxPause:    h.Clock().MaxPause(),
+			Pauses:      h.Clock().Pauses(),
+			Counters:    h.Clock().Counters,
+			Collections: h.Collections(),
+		}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(stats.BudgetExceeded); !ok {
+				panic(r)
+			}
+			res = snapshot()
+			res.Aborted = true
+			err = nil
+		}
+	}()
 	params := workload.Params{Scale: env.Scale, Seed: env.Seed, Pretenure: env.Pretenure}
 	runErr := bench.Run(h, params)
-	res := &Result{
-		Collector:   cfg.Name,
-		Benchmark:   bench.Name,
-		HeapBytes:   cfg.HeapBytes,
-		TotalTime:   h.Clock().TotalTime(),
-		GCTime:      h.Clock().GCTime(),
-		MaxPause:    h.Clock().MaxPause(),
-		Pauses:      h.Clock().Pauses(),
-		Counters:    h.Clock().Counters,
-		Collections: h.Collections(),
-	}
+	res = snapshot()
 	if runErr != nil {
 		if errors.Is(runErr, gc.ErrOutOfMemory) {
 			res.OOM = true

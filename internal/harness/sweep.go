@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"beltway/internal/core"
+	"beltway/internal/engine"
 	"beltway/internal/workload"
 )
 
@@ -68,9 +69,19 @@ type Sweep struct {
 	Points     int            // default 33
 	// Progress, if non-nil, receives a line per completed run.
 	Progress func(string)
+	// Exec configures parallel execution: worker count, checkpoint file,
+	// resume, per-job timeout. The zero value runs on GOMAXPROCS workers
+	// with no checkpoint. Exec.Progress defaults to Progress.
+	Exec engine.Config
 }
 
-// Run executes the sweep. The result is indexed [collector][point].
+// Run executes the sweep: the (benchmark, collector, heap size)
+// cross-product is submitted as independent jobs to a bounded worker
+// pool, and the points are reassembled in deterministic submission order,
+// so the output is identical to a sequential sweep regardless of worker
+// count or completion order. A job that panics or times out degrades to a
+// failed Result (rendered as a missing point) instead of killing the
+// sweep. The result is indexed [collector][point].
 func (s *Sweep) Run() ([][]SweepPoint, error) {
 	if s.Ratio == 0 {
 		s.Ratio = 3
@@ -86,6 +97,10 @@ func (s *Sweep) Run() ([][]SweepPoint, error) {
 			out[ci][pi] = SweepPoint{Collector: col.Name, HeapRel: f}
 		}
 	}
+
+	type slot struct{ ci, pi int }
+	var specs []RunSpec
+	var slots []slot
 	for _, bench := range s.Benchmarks {
 		min, ok := s.MinHeaps[bench.Name]
 		if !ok {
@@ -94,22 +109,31 @@ func (s *Sweep) Run() ([][]SweepPoint, error) {
 		sizes := HeapSizes(min, s.Ratio, s.Points, s.Env.FrameBytes)
 		for ci, col := range s.Collectors {
 			for pi, size := range sizes {
-				res, err := RunOne(col.Make(size), bench, s.Env)
-				if err != nil {
-					return nil, err
-				}
-				if s.Progress != nil {
-					status := fmt.Sprintf("gc=%.0f%%", 100*res.GCFraction())
-					if res.OOM {
-						status = "OOM"
-					}
-					s.Progress(fmt.Sprintf("%-18s %-10s heap=%7.2fx %s",
-						col.Name, bench.Name, out[ci][pi].HeapRel, status))
-				}
-				out[ci][pi].HeapBytes = size
-				out[ci][pi].Results = append(out[ci][pi].Results, res)
+				specs = append(specs, RunSpec{
+					Key:   engine.Key{Collector: col.Name, Benchmark: bench.Name, HeapBytes: size},
+					Make:  col.Make,
+					Bench: bench,
+					Env:   s.Env,
+				})
+				slots = append(slots, slot{ci, pi})
 			}
 		}
+	}
+
+	cfg := s.Exec
+	if cfg.Progress == nil {
+		cfg.Progress = s.Progress
+	}
+	x := NewExecutor(cfg)
+	defer x.Close()
+	results, _, err := x.RunAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		sl := slots[i]
+		out[sl.ci][sl.pi].HeapBytes = specs[i].Key.HeapBytes
+		out[sl.ci][sl.pi].Results = append(out[sl.ci][sl.pi].Results, res)
 	}
 	return out, nil
 }
@@ -135,7 +159,7 @@ func RelativeToBest(points [][]SweepPoint, m Metric) [][]float64 {
 	for _, row := range points {
 		for _, p := range row {
 			for _, r := range p.Results {
-				if r.OOM {
+				if r.Incomplete() {
 					continue
 				}
 				v := m(r)
@@ -164,7 +188,7 @@ func geoMeanRel(results []*Result, m Metric, best map[string]float64) float64 {
 	}
 	sum := 0.0
 	for _, r := range results {
-		if r.OOM {
+		if r.Incomplete() {
 			return math.NaN()
 		}
 		b := best[r.Benchmark]
@@ -192,7 +216,7 @@ func AbsoluteGeoMean(points [][]SweepPoint, m Metric) [][]float64 {
 			sum, n := 0.0, 0
 			bad := false
 			for _, r := range p.Results {
-				if r.OOM {
+				if r.Incomplete() {
 					bad = true
 					break
 				}
@@ -222,7 +246,7 @@ func BenchmarkSeries(points [][]SweepPoint, benchName string, m Metric) [][]floa
 	for _, row := range points {
 		for _, p := range row {
 			for _, r := range p.Results {
-				if r.Benchmark == benchName && !r.OOM {
+				if r.Benchmark == benchName && !r.Incomplete() {
 					if v := m(r); v > 0 && v < best {
 						best = v
 					}
@@ -236,7 +260,7 @@ func BenchmarkSeries(points [][]SweepPoint, benchName string, m Metric) [][]floa
 		for pi, p := range row {
 			out[ci][pi] = math.NaN()
 			for _, r := range p.Results {
-				if r.Benchmark == benchName && !r.OOM {
+				if r.Benchmark == benchName && !r.Incomplete() {
 					if v := m(r); v > 0 && !math.IsInf(best, 1) {
 						out[ci][pi] = v / best
 					}
