@@ -1,0 +1,136 @@
+// Command bench runs the simulator's benchmark suites (heap, core,
+// remset, trace, workload) through testing.Benchmark and writes the
+// results as machine-readable JSON, so successive runs can be diffed to
+// catch performance regressions.
+//
+// Usage:
+//
+//	go run ./cmd/bench                 # full run, writes BENCH_<date>.json
+//	go run ./cmd/bench -quick          # 1 iteration/benchmark (CI smoke)
+//	go run ./cmd/bench -suite heap,core -benchtime 100ms -o out.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"beltway/internal/bench"
+)
+
+// Result is one benchmark measurement in the JSON report.
+type Result struct {
+	Suite       string  `json:"suite"`
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	MBPerSec    float64 `json:"mb_per_s,omitempty"`
+}
+
+// Report is the top-level BENCH_<date>.json document.
+type Report struct {
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	Benchtime  string   `json:"benchtime"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "run each benchmark for a single iteration (CI smoke)")
+	suites := flag.String("suite", "all", "comma-separated suites to run (heap,core,remset,trace,workload) or 'all'")
+	benchtime := flag.String("benchtime", "1s", "per-benchmark run time or iteration count (e.g. 100ms, 10x)")
+	out := flag.String("o", "", "output path (default BENCH_<date>.json in the current directory)")
+	flag.Parse()
+
+	// testing.Benchmark reads the test.* flags; register them and force
+	// allocation reporting so B/op and allocs/op are always recorded.
+	testing.Init()
+	bt := *benchtime
+	if *quick {
+		bt = "1x"
+	}
+	if err := flag.Set("test.benchtime", bt); err != nil {
+		fatal(err)
+	}
+	if err := flag.Set("test.benchmem", "true"); err != nil {
+		fatal(err)
+	}
+
+	want := map[string]bool{}
+	if *suites != "all" {
+		for _, s := range strings.Split(*suites, ",") {
+			want[strings.TrimSpace(s)] = true
+		}
+		for s := range want {
+			if !validSuite(s) {
+				fatal(fmt.Errorf("unknown suite %q (have %s)", s, strings.Join(bench.Suites(), ",")))
+			}
+		}
+	}
+
+	rep := Report{
+		Date:      time.Now().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Benchtime: bt,
+	}
+	for _, e := range bench.All() {
+		if len(want) > 0 && !want[e.Suite] {
+			continue
+		}
+		fmt.Printf("%-10s %-22s ", e.Suite, e.Name)
+		r := testing.Benchmark(e.Fn)
+		res := Result{
+			Suite:       e.Suite,
+			Name:        e.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if r.Bytes > 0 && r.T > 0 {
+			res.MBPerSec = (float64(r.Bytes) * float64(r.N) / 1e6) / r.T.Seconds()
+		}
+		fmt.Printf("%12.1f ns/op %10d B/op %8d allocs/op\n",
+			res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+		rep.Benchmarks = append(rep.Benchmarks, res)
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + rep.Date + ".json"
+	}
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(rep.Benchmarks))
+}
+
+func validSuite(s string) bool {
+	for _, v := range bench.Suites() {
+		if s == v {
+			return true
+		}
+	}
+	return false
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,49 @@
+// Package bench hosts the canonical benchmark bodies for the simulator.
+// Each package's bench_test.go delegates here, so `go test -bench` and
+// the cmd/bench regression harness (which runs these via
+// testing.Benchmark and emits BENCH_<date>.json) measure the same code.
+package bench
+
+import "testing"
+
+// Entry is one named benchmark belonging to a suite.
+type Entry struct {
+	Suite string
+	Name  string
+	Fn    func(*testing.B)
+}
+
+// Suites lists the suite names in run order.
+func Suites() []string {
+	return []string{"heap", "core", "remset", "trace", "workload"}
+}
+
+// All returns every registered benchmark in deterministic (suite, then
+// declaration) order.
+func All() []Entry {
+	return []Entry{
+		{"heap", "WordAccess", WordAccess},
+		{"heap", "FrameMapUnmap", FrameMapUnmap},
+		{"heap", "CopyObject", CopyObject},
+		{"heap", "WalkObjects", WalkObjects},
+		{"core", "Alloc", Alloc},
+		{"core", "WriteBarrierFastPath", WriteBarrierFastPath},
+		{"core", "WriteBarrierSlowPath", WriteBarrierSlowPath},
+		{"core", "NurseryCollection", NurseryCollection},
+		{"core", "FullCollection", FullCollection},
+		{"core", "CheneyScan", CheneyScan},
+		{"remset", "InsertDistinct", RemsetInsertDistinct},
+		{"remset", "InsertDuplicate", RemsetInsertDuplicate},
+		{"remset", "CollectRoots", RemsetCollectRoots},
+		{"trace", "RecordOff", TraceRecordOff},
+		{"trace", "RecordOn", TraceRecordOn},
+		{"trace", "Replay", TraceReplay},
+		{"trace", "Serialize", TraceSerialize},
+		{"workload", "Jess", WorkloadJess},
+		{"workload", "Raytrace", WorkloadRaytrace},
+		{"workload", "DB", WorkloadDB},
+		{"workload", "Javac", WorkloadJavac},
+		{"workload", "Jack", WorkloadJack},
+		{"workload", "PseudoJBB", WorkloadPseudoJBB},
+	}
+}

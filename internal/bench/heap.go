@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"testing"
+
+	"beltway/internal/heap"
+)
+
+// WordAccess measures the simulated memory's word load/store path (the
+// floor under every collector operation).
+func WordAccess(b *testing.B) {
+	s := heap.NewSpace(1<<16, heap.NewRegistry())
+	a := s.FrameBase(s.MapFrame())
+	b.ReportAllocs()
+	b.SetBytes(2 * heap.WordBytes) // one store + one load per iteration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SetWord(a, uint32(i))
+		if s.Word(a) != uint32(i) {
+			b.Fatal("corrupt")
+		}
+	}
+}
+
+// FrameMapUnmap measures frame turnover (one map+unmap pair per
+// iteration), which bounds collection bookkeeping.
+func FrameMapUnmap(b *testing.B) {
+	s := heap.NewSpace(1<<14, heap.NewRegistry())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := s.MapFrame()
+		s.UnmapFrame(f)
+	}
+}
+
+// CopyObject measures the Cheney copy primitive on a 64-byte object.
+func CopyObject(b *testing.B) {
+	r := heap.NewRegistry()
+	node := r.DefineScalar("n", 4, 9) // (3+4+9)*4 = 64 bytes
+	s := heap.NewSpace(1<<16, r)
+	base := s.FrameBase(s.MapFrame())
+	s.Format(base, node, 0, 1)
+	dst := base + 4096
+	b.ReportAllocs()
+	b.SetBytes(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.CopyObject(base, dst)
+	}
+}
+
+// WalkObjects measures the linear object walk used by Cheney scanning
+// and card scanning.
+func WalkObjects(b *testing.B) {
+	r := heap.NewRegistry()
+	node := r.DefineScalar("n", 2, 2)
+	s := heap.NewSpace(1<<16, r)
+	base := s.FrameBase(s.MapFrame())
+	a := base
+	for i := 0; i < 100; i++ {
+		s.Format(a, node, 0, uint32(i+1))
+		a += heap.Addr(node.Size(0))
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(a - base)) // bytes walked per iteration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		s.WalkObjects(base, a, func(heap.Addr) bool { n++; return true })
+		if n != 100 {
+			b.Fatal(n)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"testing"
+
+	"beltway/internal/heap"
+	"beltway/internal/remset"
+)
+
+// RemsetInsertDistinct measures cold inserts (new slots).
+func RemsetInsertDistinct(b *testing.B) {
+	t := remset.NewTable()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Insert(heap.Frame(i%64), heap.Frame((i+1)%64), heap.Addr(i*4))
+	}
+}
+
+// RemsetInsertDuplicate measures the dedup hit path, the common case
+// for repeatedly mutated old-to-young slots.
+func RemsetInsertDuplicate(b *testing.B) {
+	t := remset.NewTable()
+	t.Insert(1, 2, 0x1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Insert(1, 2, 0x1000)
+	}
+}
+
+// RemsetCollectRoots measures the per-collection gather of a
+// realistically sized table (4k entries across 64 pairs).
+func RemsetCollectRoots(b *testing.B) {
+	build := func() *remset.Table {
+		t := remset.NewTable()
+		for i := 0; i < 4096; i++ {
+			t.Insert(heap.Frame(i%8+8), heap.Frame(i%8), heap.Addr(i*16))
+		}
+		return t
+	}
+	condemned := func(f heap.Frame) bool { return f < 8 }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		t := build()
+		b.StartTimer()
+		if got := t.CollectRoots(condemned); len(got) == 0 {
+			b.Fatal("no roots")
+		}
+	}
+}

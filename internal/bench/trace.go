@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"beltway/internal/collectors"
+	"beltway/internal/core"
+	"beltway/internal/heap"
+	"beltway/internal/trace"
+	"beltway/internal/vm"
+)
+
+// buildTrace records a medium workload once for the trace benchmarks.
+func buildTrace(tb testing.TB) *trace.Trace {
+	tb.Helper()
+	types := heap.NewRegistry()
+	h, err := core.New(collectors.XX100(25,
+		collectors.Options{HeapBytes: 1 << 20, FrameBytes: 8192}), types)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	m := vm.New(h)
+	tr := trace.NewTrace()
+	m.SetRecorder(tr)
+	node := types.DefineScalar("n", 1, 1)
+	if err := m.Run(func() {
+		for i := 0; i < 20000; i++ {
+			m.Push()
+			x := m.Alloc(node, 0)
+			m.SetData(x, 0, uint32(i))
+			m.Pop()
+		}
+	}); err != nil {
+		tb.Fatal(err)
+	}
+	return tr
+}
+
+func recordOverhead(b *testing.B, recording bool) {
+	types := heap.NewRegistry()
+	h, err := core.New(collectors.XX100(25,
+		collectors.Options{HeapBytes: 4 << 20, FrameBytes: 8192}), types)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := vm.New(h)
+	if recording {
+		m.SetRecorder(trace.NewTrace())
+	}
+	node := types.DefineScalar("n", 1, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	err = m.Run(func() {
+		for i := 0; i < b.N; i++ {
+			m.Push()
+			x := m.Alloc(node, 0)
+			m.SetData(x, 0, uint32(i))
+			m.Pop()
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// TraceRecordOff measures the mutator loop with recording disabled (the
+// baseline for TraceRecordOn).
+func TraceRecordOff(b *testing.B) { recordOverhead(b, false) }
+
+// TraceRecordOn measures the mutator slowdown of recording.
+func TraceRecordOn(b *testing.B) { recordOverhead(b, true) }
+
+// TraceReplay measures replay throughput (events/op via SetBytes).
+func TraceReplay(b *testing.B) {
+	tr := buildTrace(b)
+	b.ReportAllocs()
+	b.SetBytes(int64(tr.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		types := heap.NewRegistry()
+		h, err := core.New(collectors.XX100(25,
+			collectors.Options{HeapBytes: 1 << 20, FrameBytes: 8192}), types)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := trace.Replay(tr, vm.New(h)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TraceSerialize measures trace encode+decode round trips.
+func TraceSerialize(b *testing.B) {
+	tr := buildTrace(b)
+	b.ReportAllocs()
+	b.SetBytes(int64(tr.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if _, err := tr.WriteTo(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := trace.ReadFrom(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package core_test
+
+import (
+	"testing"
+
+	"beltway/internal/collectors"
+)
+
+// The write barrier is the mutator's hottest instrumented path; these
+// guards pin both its fast path (uninteresting store) and its
+// duplicate-insert slow path at zero heap allocations, so the flattened
+// substrate's wins cannot silently regress.
+
+func TestWriteBarrierFastPathZeroAlloc(t *testing.T) {
+	o := collectors.Options{HeapBytes: 64 << 20, FrameBytes: 1 << 20}
+	h, node := benchHeap(t, collectors.XX100(25, o))
+	a1, err := h.Alloc(node, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := h.Alloc(node, 0) // same frame: never remembered
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		h.WriteRef(a1, 0, a2)
+	}); n != 0 {
+		t.Errorf("barrier fast path allocates %v times per op, want 0", n)
+	}
+}
+
+func TestWriteBarrierSlowPathDuplicateZeroAlloc(t *testing.T) {
+	o := collectors.Options{HeapBytes: 64 << 20, FrameBytes: 64 << 10}
+	h, node := benchHeap(t, collectors.XX100(25, o))
+	roots := h.Roots()
+	old := roots.Add(mustAlloc(t, h, node))
+	// Promote it out of the nursery so stores into the nursery are
+	// interesting.
+	if err := h.Collect(false); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Collect(false); err != nil {
+		t.Fatal(err)
+	}
+	young := roots.Add(mustAlloc(t, h, node))
+	oa, ya := roots.Get(old), roots.Get(young)
+	h.WriteRef(oa, 0, ya) // first store: the one real insert
+	if n := testing.AllocsPerRun(100, func() {
+		h.WriteRef(oa, 0, ya) // duplicate remset entry
+	}); n != 0 {
+		t.Errorf("barrier slow path (duplicate) allocates %v times per op, want 0", n)
+	}
+}

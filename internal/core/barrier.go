@@ -20,12 +20,16 @@ func (h *Heap) WriteRef(obj heap.Addr, slot int, val heap.Addr) {
 	c := &h.clock.Counters
 	c.PointerStores++
 
+	// Validate the slot once; the store below is then a raw word write
+	// instead of a re-checked SetRef.
+	slotAddr := h.space.CheckRefSlot(obj, slot)
+
 	if h.cfg.Barrier == CardBarrier {
 		// Card marking: no test at all — dirty the slot's card and
 		// store. All discovery work is deferred to collection time.
-		h.markCard(h.space.RefSlotAddr(obj, slot))
+		h.markCard(slotAddr)
 		h.clock.Advance(h.cfg.Costs.CardMark)
-		h.space.SetRef(obj, slot, val)
+		h.space.SetWord(slotAddr, uint32(val))
 		return
 	}
 
@@ -40,7 +44,7 @@ func (h *Heap) WriteRef(obj heap.Addr, slot int, val heap.Addr) {
 		// Key by the SLOT's frame, not the object header's: they differ
 		// only for frame-spanning large objects, where the slot's frame
 		// is the one whose remembered sets are consulted at collection.
-		s := h.space.FrameOf(h.space.RefSlotAddr(obj, slot))
+		s := h.space.FrameOf(slotAddr)
 		t := h.space.FrameOf(val)
 		filtered := false
 		if h.cfg.NurseryFilter && h.incrOf[s] != nil && h.incrOf[s].belt == h.allocBelt &&
@@ -66,14 +70,14 @@ func (h *Heap) WriteRef(obj heap.Addr, slot int, val heap.Addr) {
 			} else {
 				c.BarrierSlowPaths++
 				cost += h.cfg.Costs.BarrierSlow
-				if h.rems.Insert(s, t, h.space.RefSlotAddr(obj, slot)) {
+				if h.rems.Insert(s, t, slotAddr) {
 					c.RemsetInserts++
 				}
 			}
 		}
 	}
 	h.clock.Advance(cost)
-	h.space.SetRef(obj, slot, val)
+	h.space.SetWord(slotAddr, uint32(val))
 }
 
 // ReadRef implements gc.Collector.

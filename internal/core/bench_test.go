@@ -3,118 +3,37 @@ package core_test
 import (
 	"testing"
 
-	"beltway/internal/collectors"
+	"beltway/internal/bench"
 	"beltway/internal/core"
 	"beltway/internal/heap"
 )
 
-func benchHeap(b *testing.B, cfg core.Config) (*core.Heap, *heap.TypeDesc) {
-	b.Helper()
+// Benchmark bodies live in beltway/internal/bench so `go test -bench`
+// and the cmd/bench regression harness measure the same code. The
+// helpers below are shared with the allocation-guard tests.
+
+func benchHeap(tb testing.TB, cfg core.Config) (*core.Heap, *heap.TypeDesc) {
+	tb.Helper()
 	types := heap.NewRegistry()
 	h, err := core.New(cfg, types)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	return h, types.DefineScalar("n", 2, 2)
 }
 
-// BenchmarkAlloc measures the bump-allocation fast path (including the
-// cost-model charge and trigger polling) on a roomy heap.
-func BenchmarkAlloc(b *testing.B) {
-	o := collectors.Options{HeapBytes: 1 << 30, FrameBytes: 1 << 20}
-	h, node := benchHeap(b, collectors.XX100(25, o))
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := h.Alloc(node, 0); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkWriteBarrierFastPath measures Figure 4's barrier when the
-// pointer is not interesting (intra-frame store).
-func BenchmarkWriteBarrierFastPath(b *testing.B) {
-	o := collectors.Options{HeapBytes: 64 << 20, FrameBytes: 1 << 20}
-	h, node := benchHeap(b, collectors.XX100(25, o))
-	a1, _ := h.Alloc(node, 0)
-	a2, _ := h.Alloc(node, 0) // same frame: never remembered
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		h.WriteRef(a1, 0, a2)
-	}
-}
-
-// BenchmarkWriteBarrierSlowPath measures the barrier when every store is
-// interesting (old object pointing at the nursery) and must hit the
-// remembered set (deduplicated after the first).
-func BenchmarkWriteBarrierSlowPath(b *testing.B) {
-	o := collectors.Options{HeapBytes: 64 << 20, FrameBytes: 64 << 10}
-	h, node := benchHeap(b, collectors.XX100(25, o))
-	roots := h.Roots()
-	old := roots.Add(mustAlloc(b, h, node))
-	// Promote it out of the nursery.
-	if err := h.Collect(false); err != nil {
-		b.Fatal(err)
-	}
-	if err := h.Collect(false); err != nil {
-		b.Fatal(err)
-	}
-	young := roots.Add(mustAlloc(b, h, node))
-	oa, ya := roots.Get(old), roots.Get(young)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		h.WriteRef(oa, i%2, ya)
-	}
-}
-
-func mustAlloc(b *testing.B, h *core.Heap, t *heap.TypeDesc) heap.Addr {
-	b.Helper()
+func mustAlloc(tb testing.TB, h *core.Heap, t *heap.TypeDesc) heap.Addr {
+	tb.Helper()
 	a, err := h.Alloc(t, 0)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	return a
 }
 
-// BenchmarkNurseryCollection measures a steady-state nursery collection:
-// fill the nursery with garbage plus a bounded survivor set, collect.
-func BenchmarkNurseryCollection(b *testing.B) {
-	o := collectors.Options{HeapBytes: 16 << 20, FrameBytes: 64 << 10}
-	h, node := benchHeap(b, collectors.XX100(25, o))
-	roots := h.Roots()
-	// Survivors: 1000 rooted objects.
-	for i := 0; i < 1000; i++ {
-		roots.Add(mustAlloc(b, h, node))
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		for j := 0; j < 5000; j++ {
-			mustAlloc(b, h, node) // garbage
-		}
-		if err := h.Collect(false); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkFullCollection measures whole-heap collections with a live
-// linked structure.
-func BenchmarkFullCollection(b *testing.B) {
-	o := collectors.Options{HeapBytes: 32 << 20, FrameBytes: 256 << 10}
-	h, node := benchHeap(b, collectors.BSS(o))
-	roots := h.Roots()
-	head := roots.Add(mustAlloc(b, h, node))
-	prev := roots.Get(head)
-	for i := 0; i < 20000; i++ {
-		n := mustAlloc(b, h, node)
-		h.WriteRef(prev, 0, n)
-		prev = n
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if err := h.Collect(true); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkAlloc(b *testing.B)                { bench.Alloc(b) }
+func BenchmarkWriteBarrierFastPath(b *testing.B) { bench.WriteBarrierFastPath(b) }
+func BenchmarkWriteBarrierSlowPath(b *testing.B) { bench.WriteBarrierSlowPath(b) }
+func BenchmarkNurseryCollection(b *testing.B)    { bench.NurseryCollection(b) }
+func BenchmarkFullCollection(b *testing.B)       { bench.FullCollection(b) }
+func BenchmarkCheneyScan(b *testing.B)           { bench.CheneyScan(b) }

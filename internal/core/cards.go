@@ -82,11 +82,11 @@ func (h *Heap) scanDirtyCards(st *gcState) error {
 			}
 		}
 		var err error
-		h.space.WalkObjects(base, fill, func(obj heap.Addr) bool {
-			n := h.space.NumRefs(obj)
+		h.space.WalkObjectsTyped(base, fill, func(obj heap.Addr, t *heap.TypeDesc, length int) bool {
+			n := t.NumRefs(length)
 			for i := 0; i < n; i++ {
 				slot := h.space.RefSlotAddr(obj, i)
-				val := h.space.GetRef(obj, i)
+				val := heap.Addr(h.space.Word(slot))
 				if val == heap.Nil {
 					continue
 				}
@@ -96,7 +96,7 @@ func (h *Heap) scanDirtyCards(st *gcState) error {
 					if err != nil {
 						return false
 					}
-					h.space.SetRef(obj, i, nv)
+					h.space.SetWord(slot, uint32(nv))
 					val = nv
 				} else {
 					h.markLOS(val)

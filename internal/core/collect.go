@@ -9,21 +9,41 @@ import (
 
 // gcState carries the per-collection working set: the condemned
 // increments, the promotion targets resolved so far, and the Cheney scan
-// positions over every target increment.
+// positions over every target increment. One instance lives on the Heap
+// and is reset per collection, so steady-state collections allocate
+// nothing for their scan machinery.
 type gcState struct {
 	victims []*Increment
-	targets map[int]*Increment // source belt index -> receiving increment
+	targets []*Increment       // indexed by source belt: receiving increment
 	mosDest map[int]*Increment // MOS train id -> open destination car
-	scans   []*scanState
+	scans   []scanState
 }
 
 // scanState is a Cheney scan pointer over one target increment. Newly
 // copied objects land at the increment's bump cursor; the scan chases the
-// cursor frame by frame until it catches up.
+// cursor frame by frame until it catches up. Scan states live in
+// gcState.scans by value; they are addressed by index because forwarding
+// can grow the slice mid-scan.
 type scanState struct {
 	in   *Increment
 	fi   int       // index into in.frames currently being scanned
 	addr heap.Addr // next object to scan within frame fi
+}
+
+// reset prepares the reusable state for a collection over nBelts belts.
+func (st *gcState) reset(victims []*Increment, nBelts int) {
+	st.victims = victims
+	if cap(st.targets) < nBelts {
+		st.targets = make([]*Increment, nBelts)
+	}
+	st.targets = st.targets[:nBelts]
+	clear(st.targets)
+	if st.mosDest == nil {
+		st.mosDest = make(map[int]*Increment)
+	} else {
+		clear(st.mosDest)
+	}
+	st.scans = st.scans[:0]
 }
 
 // collect performs one stop-the-world collection of the given increments.
@@ -68,11 +88,8 @@ func (h *Heap) collect(victims []*Increment) error {
 	}
 	h.los.sweeping = len(h.los.objects) > 0 && len(victims) == total
 
-	st := &gcState{
-		victims: victims,
-		targets: make(map[int]*Increment),
-		mosDest: make(map[int]*Increment),
-	}
+	st := &h.gcs
+	st.reset(victims, len(h.belts))
 
 	// 1. Mutator roots.
 	var gcErr error
@@ -114,7 +131,8 @@ func (h *Heap) collect(victims []*Increment) error {
 			return err
 		}
 	}
-	slots := h.rems.CollectRoots(h.frameCondemned)
+	slots := h.rems.AppendRoots(h.rootBuf[:0], h.frameCondemnedFn)
+	h.rootBuf = slots
 	for _, slotAddr := range slots {
 		c.RemsetEntriesGC++
 		h.clock.Advance(h.cfg.Costs.RemsetEntry)
@@ -221,7 +239,7 @@ func (h *Heap) forward(a heap.Addr, st *gcState, ctx *Increment) (heap.Addr, err
 	if err != nil {
 		return heap.Nil, err
 	}
-	h.space.CopyObject(a, dst)
+	h.space.CopyBytes(a, dst, size)
 	h.space.SetForwarding(a, dst)
 	c := &h.clock.Counters
 	c.ObjectsCopied++
@@ -302,12 +320,12 @@ func (h *Heap) resolveTarget(srcBelt int, st *gcState) *Increment {
 // pointer they hold is already in a remembered set, so only objects
 // copied during THIS collection need scanning.
 func (h *Heap) registerScan(in *Increment, st *gcState) {
-	for _, s := range st.scans {
-		if s.in == in {
+	for i := range st.scans {
+		if st.scans[i].in == in {
 			return
 		}
 	}
-	s := &scanState{in: in}
+	s := scanState{in: in}
 	if len(in.frames) == 0 {
 		s.fi = 0
 		s.addr = heap.Nil
@@ -318,12 +336,15 @@ func (h *Heap) registerScan(in *Increment, st *gcState) {
 	st.scans = append(st.scans, s)
 }
 
-// drainScans runs all Cheney scan pointers to fixpoint.
+// drainScans runs all Cheney scan pointers to fixpoint. Each pass covers
+// the scans registered before it started; scans registered mid-pass are
+// picked up by the next pass (the fixpoint loop guarantees they run).
 func (h *Heap) drainScans(st *gcState) error {
 	for {
 		progress := false
-		for _, s := range st.scans {
-			adv, err := h.advanceScan(s, st)
+		n := len(st.scans)
+		for i := 0; i < n; i++ {
+			adv, err := h.advanceScan(i, st)
 			if err != nil {
 				return err
 			}
@@ -335,11 +356,14 @@ func (h *Heap) drainScans(st *gcState) error {
 	}
 }
 
-// advanceScan scans as many objects as are currently available to s,
-// reporting whether it advanced at all.
-func (h *Heap) advanceScan(s *scanState, st *gcState) (bool, error) {
+// advanceScan scans as many objects as are currently available to the
+// idx'th scan, reporting whether it advanced at all. The scan is
+// re-resolved by index after every object: forwarding out of scanObject
+// can register new scans and reallocate st.scans underneath us.
+func (h *Heap) advanceScan(idx int, st *gcState) (bool, error) {
 	advanced := false
 	for {
+		s := &st.scans[idx]
 		in := s.in
 		if len(in.frames) == 0 {
 			return advanced, nil
@@ -350,11 +374,13 @@ func (h *Heap) advanceScan(s *scanState, st *gcState) (bool, error) {
 			s.addr = h.space.FrameBase(in.frames[0])
 		}
 		f := in.frames[s.fi]
-		if s.addr < h.fill[f] {
-			if err := h.scanObject(s.addr, st); err != nil {
+		if obj := s.addr; obj < h.fill[f] {
+			size, err := h.scanObject(obj, st)
+			if err != nil {
 				return advanced, err
 			}
-			s.addr += heap.Addr(h.space.SizeOf(s.addr))
+			s = &st.scans[idx] // st.scans may have grown
+			s.addr = obj + heap.Addr(size)
 			advanced = true
 			continue
 		}
@@ -369,31 +395,35 @@ func (h *Heap) advanceScan(s *scanState, st *gcState) (bool, error) {
 
 // scanObject processes the reference slots of one newly copied object:
 // condemned referents are forwarded, and every slot is re-tested against
-// the barrier rule because the object now lives in a new frame.
-func (h *Heap) scanObject(obj heap.Addr, st *gcState) error {
+// the barrier rule because the object now lives in a new frame. It
+// returns the object's size so the caller advances without a second
+// header decode.
+func (h *Heap) scanObject(obj heap.Addr, st *gcState) (int, error) {
 	c := &h.clock.Counters
-	n := h.space.NumRefs(obj)
+	t, length := h.space.Header(obj)
+	n := t.NumRefs(length)
+	slotAddr := obj + heap.HeaderBytes
 	for i := 0; i < n; i++ {
 		c.SlotsScanned++
 		h.clock.Advance(h.cfg.Costs.ScanSlot)
-		val := h.space.GetRef(obj, i)
-		if val == heap.Nil {
-			continue
-		}
-		if h.isCondemned(val) {
-			ctx := h.incrOf[h.space.FrameOf(obj)]
-			nv, err := h.forward(val, st, ctx)
-			if err != nil {
-				return err
+		val := heap.Addr(h.space.Word(slotAddr))
+		if val != heap.Nil {
+			if h.isCondemned(val) {
+				ctx := h.incrOf[h.space.FrameOf(obj)]
+				nv, err := h.forward(val, st, ctx)
+				if err != nil {
+					return 0, err
+				}
+				h.space.SetWord(slotAddr, uint32(nv))
+				val = nv
+			} else {
+				h.markLOS(val)
 			}
-			h.space.SetRef(obj, i, nv)
-			val = nv
-		} else {
-			h.markLOS(val)
+			h.rescanSlot(slotAddr, val)
 		}
-		h.rescanSlot(h.space.RefSlotAddr(obj, i), val)
+		slotAddr += heap.WordBytes
 	}
-	return nil
+	return t.Size(length), nil
 }
 
 // scanBootImage walks every boot-image object, forwarding condemned
@@ -407,15 +437,18 @@ func (h *Heap) scanBootImage(st *gcState) error {
 		base := h.space.FrameBase(f)
 		limit := h.fill[f]
 		var err error
-		h.space.WalkObjects(base, limit, func(obj heap.Addr) bool {
-			n := h.space.NumRefs(obj)
+		h.space.WalkObjectsTyped(base, limit, func(obj heap.Addr, t *heap.TypeDesc, length int) bool {
+			n := t.NumRefs(length)
+			slotAddr := obj + heap.HeaderBytes
 			for i := 0; i < n; i++ {
-				val := h.space.GetRef(obj, i)
+				val := heap.Addr(h.space.Word(slotAddr))
 				if val == heap.Nil {
+					slotAddr += heap.WordBytes
 					continue
 				}
 				if !h.isCondemned(val) {
 					h.markLOS(val)
+					slotAddr += heap.WordBytes
 					continue
 				}
 				var nv heap.Addr
@@ -423,7 +456,8 @@ func (h *Heap) scanBootImage(st *gcState) error {
 				if err != nil {
 					return false
 				}
-				h.space.SetRef(obj, i, nv)
+				h.space.SetWord(slotAddr, uint32(nv))
+				slotAddr += heap.WordBytes
 			}
 			return true
 		})

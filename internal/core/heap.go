@@ -47,6 +47,16 @@ type Heap struct {
 	remsetPoll   int // allocation counter throttling the remset trigger poll
 	mos          mosState
 	los          losState
+
+	// Reusable per-collection machinery, so steady-state collections and
+	// trigger polls allocate nothing: the gcState scratch (scan pointers,
+	// promotion targets), the remset-root buffer, and closures that would
+	// otherwise be rebuilt — and heap-allocated — on every use.
+	gcs              gcState
+	rootBuf          []heap.Addr
+	frameCondemnedFn func(heap.Frame) bool
+	trigOld          *Increment // target increment of the current trigger poll
+	trigTargetFn     func(heap.Frame) bool
 }
 
 // New builds a collector from cfg. The type registry is shared with the
@@ -73,6 +83,10 @@ func New(cfg Config, types *heap.Registry) (*Heap, error) {
 	h.mos.carsPerTrain = cfg.MOSCarsPerTrain
 	if h.mos.carsPerTrain == 0 {
 		h.mos.carsPerTrain = 4
+	}
+	h.frameCondemnedFn = h.frameCondemned
+	h.trigTargetFn = func(f heap.Frame) bool {
+		return int(f) < len(h.incrOf) && h.incrOf[f] == h.trigOld
 	}
 	h.recomputeReserve()
 	return h, nil

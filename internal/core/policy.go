@@ -2,7 +2,6 @@ package core
 
 import (
 	"beltway/internal/gc"
-	"beltway/internal/heap"
 )
 
 // nurseryMinBytes is the Appel-style "small fixed threshold" (§3.1):
@@ -185,10 +184,10 @@ func (h *Heap) pollRemsetTrigger() (bool, error) {
 		if old == nil {
 			continue
 		}
-		inTarget := func(f heap.Frame) bool {
-			return int(f) < len(h.incrOf) && h.incrOf[f] == old
-		}
-		if h.rems.EntriesTargeting(inTarget) > th {
+		// h.trigTargetFn is built once at construction and parameterized
+		// through trigOld, so the allocation-path poll builds no closure.
+		h.trigOld = old
+		if h.rems.EntriesTargeting(h.trigTargetFn) > th {
 			var victims []*Increment
 			for _, lower := range h.belts[:bi] {
 				victims = append(victims, lower.incrs...)

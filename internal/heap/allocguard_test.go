@@ -1,0 +1,44 @@
+package heap
+
+import "testing"
+
+// The word-access and copy primitives are the floor under every
+// collector operation; these guards pin them at zero heap allocations so
+// the slab-backed fast paths cannot silently regress.
+
+func TestWordAccessZeroAlloc(t *testing.T) {
+	s := NewSpace(1<<14, NewRegistry())
+	a := s.FrameBase(s.MapFrame())
+	if n := testing.AllocsPerRun(100, func() {
+		s.SetWord(a, 42)
+		if s.Word(a) != 42 {
+			t.Fatal("corrupt")
+		}
+	}); n != 0 {
+		t.Errorf("Word/SetWord allocate %v times per op, want 0", n)
+	}
+}
+
+func TestCopyObjectZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	node := r.DefineScalar("n", 4, 9)
+	s := NewSpace(1<<14, r)
+	base := s.FrameBase(s.MapFrame())
+	s.Format(base, node, 0, 1)
+	dst := base + 1024
+	if n := testing.AllocsPerRun(100, func() {
+		s.CopyObject(base, dst)
+	}); n != 0 {
+		t.Errorf("CopyObject allocates %v times per op, want 0", n)
+	}
+}
+
+func TestRecycledFrameMapZeroAlloc(t *testing.T) {
+	s := NewSpace(1<<14, NewRegistry())
+	s.UnmapFrame(s.MapFrame()) // prime the slab pool
+	if n := testing.AllocsPerRun(100, func() {
+		s.UnmapFrame(s.MapFrame())
+	}); n != 0 {
+		t.Errorf("recycled MapFrame/UnmapFrame allocates %v times per op, want 0", n)
+	}
+}

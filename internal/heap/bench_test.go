@@ -1,67 +1,15 @@
-package heap
+package heap_test
 
-import "testing"
+import (
+	"testing"
 
-// BenchmarkWordAccess measures the simulated memory's word load/store
-// path (the floor under every collector operation).
-func BenchmarkWordAccess(b *testing.B) {
-	s := NewSpace(1<<16, NewRegistry())
-	a := s.FrameBase(s.MapFrame())
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		s.SetWord(a, uint32(i))
-		if s.Word(a) != uint32(i) {
-			b.Fatal("corrupt")
-		}
-	}
-}
+	"beltway/internal/bench"
+)
 
-// BenchmarkFrameMapUnmap measures frame turnover (one map+unmap pair per
-// iteration), which bounds collection bookkeeping.
-func BenchmarkFrameMapUnmap(b *testing.B) {
-	s := NewSpace(1<<14, NewRegistry())
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		f := s.MapFrame()
-		s.UnmapFrame(f)
-	}
-}
+// Benchmark bodies live in beltway/internal/bench so `go test -bench`
+// and the cmd/bench regression harness measure the same code.
 
-// BenchmarkCopyObject measures the Cheney copy primitive on a 64-byte
-// object.
-func BenchmarkCopyObject(b *testing.B) {
-	r := NewRegistry()
-	node := r.DefineScalar("n", 4, 9) // (3+4+9)*4 = 64 bytes
-	s := NewSpace(1<<16, r)
-	base := s.FrameBase(s.MapFrame())
-	s.Format(base, node, 0, 1)
-	dst := base + 4096
-	b.SetBytes(64)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		s.CopyObject(base, dst)
-	}
-}
-
-// BenchmarkWalkObjects measures the linear object walk used by Cheney
-// scanning and card scanning.
-func BenchmarkWalkObjects(b *testing.B) {
-	r := NewRegistry()
-	node := r.DefineScalar("n", 2, 2)
-	s := NewSpace(1<<16, r)
-	base := s.FrameBase(s.MapFrame())
-	a := base
-	for i := 0; i < 100; i++ {
-		s.Format(a, node, 0, uint32(i+1))
-		a += Addr(node.Size(0))
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		n := 0
-		s.WalkObjects(base, a, func(Addr) bool { n++; return true })
-		if n != 100 {
-			b.Fatal(n)
-		}
-	}
-}
+func BenchmarkWordAccess(b *testing.B)    { bench.WordAccess(b) }
+func BenchmarkFrameMapUnmap(b *testing.B) { bench.FrameMapUnmap(b) }
+func BenchmarkCopyObject(b *testing.B)    { bench.CopyObject(b) }
+func BenchmarkWalkObjects(b *testing.B)   { bench.WalkObjects(b) }

@@ -36,18 +36,29 @@ func (s *Space) Format(addr Addr, t *TypeDesc, length int, serial uint32) {
 	if length < 0 {
 		panic("heap: negative array length")
 	}
-	s.SetWord(addr, uint32(t.ID))
-	s.SetWord(addr+hdrLenOff, uint32(length))
-	s.SetWord(addr+hdrSerOff, serial)
+	slab, off := s.slabAt(addr, true)
+	slab[off] = uint32(t.ID)
+	slab[off+1] = uint32(length)
+	slab[off+2] = serial
+}
+
+// Header decodes the object header at addr in one pass: its type
+// descriptor and array length. This is the accessor the collector's hot
+// paths use — one slab resolve and one registry lookup per object,
+// instead of one of each per SizeOf/NumRefs/Length call.
+func (s *Space) Header(addr Addr) (*TypeDesc, int) {
+	slab, off := s.slabAt(addr, false)
+	h := slab[off]
+	if h&fwdFlag != 0 {
+		panic(fmt.Sprintf("heap: TypeOf on forwarded object at %v", addr))
+	}
+	return s.Types.Get(TypeID(h & typeMask)), int(slab[off+1])
 }
 
 // TypeOf returns the type descriptor of the object at addr.
 func (s *Space) TypeOf(addr Addr) *TypeDesc {
-	h := s.Word(addr)
-	if h&fwdFlag != 0 {
-		panic(fmt.Sprintf("heap: TypeOf on forwarded object at %v", addr))
-	}
-	return s.Types.Get(TypeID(h & typeMask))
+	t, _ := s.Header(addr)
+	return t
 }
 
 // Length returns the array length of the object at addr (0 for scalars).
@@ -58,14 +69,14 @@ func (s *Space) Serial(addr Addr) uint32 { return s.Word(addr + hdrSerOff) }
 
 // SizeOf returns the total size in bytes of the object at addr.
 func (s *Space) SizeOf(addr Addr) int {
-	t := s.TypeOf(addr)
-	return t.Size(s.Length(addr))
+	t, length := s.Header(addr)
+	return t.Size(length)
 }
 
 // NumRefs returns the number of reference slots of the object at addr.
 func (s *Space) NumRefs(addr Addr) int {
-	t := s.TypeOf(addr)
-	return t.NumRefs(s.Length(addr))
+	t, length := s.Header(addr)
+	return t.NumRefs(length)
 }
 
 // RefSlotAddr returns the address of reference slot i of the object at
@@ -74,35 +85,38 @@ func (s *Space) RefSlotAddr(addr Addr, i int) Addr {
 	return addr + Addr((headerWords+i)*WordBytes)
 }
 
+// CheckRefSlot panics unless i is a valid reference slot of the object
+// at addr, and returns the slot's address. Barrier code validates once
+// through this and then uses raw Word/SetWord on the returned address.
+func (s *Space) CheckRefSlot(addr Addr, i int) Addr {
+	t, length := s.Header(addr)
+	if n := t.NumRefs(length); i < 0 || i >= n {
+		panic(fmt.Sprintf("heap: ref slot %d out of range [0,%d) at %v (%s)",
+			i, n, addr, t.Name))
+	}
+	return s.RefSlotAddr(addr, i)
+}
+
 // GetRef reads reference slot i of the object at addr.
 func (s *Space) GetRef(addr Addr, i int) Addr {
-	s.checkRefSlot(addr, i)
-	return Addr(s.Word(s.RefSlotAddr(addr, i)))
+	return Addr(s.Word(s.CheckRefSlot(addr, i)))
 }
 
 // SetRef writes reference slot i of the object at addr. This is the raw
 // store; write barriers live above this package.
 func (s *Space) SetRef(addr Addr, i int, v Addr) {
-	s.checkRefSlot(addr, i)
-	s.SetWord(s.RefSlotAddr(addr, i), uint32(v))
-}
-
-func (s *Space) checkRefSlot(addr Addr, i int) {
-	if n := s.NumRefs(addr); i < 0 || i >= n {
-		panic(fmt.Sprintf("heap: ref slot %d out of range [0,%d) at %v (%s)",
-			i, n, addr, s.TypeOf(addr).Name))
-	}
+	s.SetWord(s.CheckRefSlot(addr, i), uint32(v))
 }
 
 // dataSlotAddr returns the address of data word i.
 func (s *Space) dataSlotAddr(addr Addr, i int) Addr {
-	t := s.TypeOf(addr)
+	t, length := s.Header(addr)
 	var n, base int
 	switch t.Kind {
 	case Scalar:
 		base, n = headerWords+t.RefSlots, t.DataWords
 	case WordArray:
-		base, n = headerWords, s.Length(addr)
+		base, n = headerWords, length
 	default:
 		panic(fmt.Sprintf("heap: data access on %s (%s)", t.Name, t.Kind))
 	}
@@ -120,12 +134,12 @@ func (s *Space) SetData(addr Addr, i int, v uint32) { s.SetWord(s.dataSlotAddr(a
 
 // DataWords returns the number of data words of the object at addr.
 func (s *Space) DataWords(addr Addr) int {
-	t := s.TypeOf(addr)
+	t, length := s.Header(addr)
 	switch t.Kind {
 	case Scalar:
 		return t.DataWords
 	case WordArray:
-		return s.Length(addr)
+		return length
 	default:
 		return 0
 	}
@@ -147,8 +161,9 @@ func (s *Space) SetForwarding(addr, dst Addr) {
 	if s.Forwarded(addr) {
 		panic(fmt.Sprintf("heap: double forwarding at %v", addr))
 	}
-	s.SetWord(addr, s.Word(addr)|fwdFlag)
-	s.SetWord(addr+hdrLenOff, uint32(dst))
+	slab, off := s.slabAt(addr, true)
+	slab[off] |= fwdFlag
+	slab[off+1] = uint32(dst)
 }
 
 // CopyObject copies the object at src to dst (already reserved, zeroed
@@ -156,10 +171,25 @@ func (s *Space) SetForwarding(addr, dst Addr) {
 // be forwarded; the caller installs the forwarding pointer afterwards.
 func (s *Space) CopyObject(src, dst Addr) int {
 	size := s.SizeOf(src)
-	for off := 0; off < size; off += WordBytes {
-		s.SetWord(dst+Addr(off), s.Word(src+Addr(off)))
-	}
+	s.CopyBytes(src, dst, size)
 	return size
+}
+
+// CopyBytes copies size bytes (a word multiple) from src to dst. When
+// both ranges lie within one frame — always true for ordinary objects,
+// which never span frames — it is a single copy() over the word slabs.
+func (s *Space) CopyBytes(src, dst Addr, size int) {
+	nw := uint32(size) >> WordShift
+	ss, so := s.slabAt(src, false)
+	ds, do := s.slabAt(dst, true)
+	if so+nw <= uint32(len(ss)) && do+nw <= uint32(len(ds)) {
+		copy(ds[do:do+nw], ss[so:so+nw])
+		return
+	}
+	// Frame-spanning range (large objects): fall back to word stores.
+	for off := Addr(0); off < Addr(size); off += WordBytes {
+		s.SetWord(dst+off, s.Word(src+off))
+	}
 }
 
 // WalkObjects calls fn for each object formatted consecutively in
@@ -167,10 +197,20 @@ func (s *Space) CopyObject(src, dst Addr) int {
 // object address and must not move it. Walking stops early if fn returns
 // false.
 func (s *Space) WalkObjects(start, limit Addr, fn func(obj Addr) bool) {
+	s.WalkObjectsTyped(start, limit, func(obj Addr, _ *TypeDesc, _ int) bool {
+		return fn(obj)
+	})
+}
+
+// WalkObjectsTyped is WalkObjects with the header pre-decoded: fn also
+// receives the object's type descriptor and array length, so scan loops
+// need no further registry lookups per object.
+func (s *Space) WalkObjectsTyped(start, limit Addr, fn func(obj Addr, t *TypeDesc, length int) bool) {
 	for a := start; a < limit; {
-		if !fn(a) {
+		t, length := s.Header(a)
+		if !fn(a, t, length) {
 			return
 		}
-		a += Addr(s.SizeOf(a))
+		a += Addr(t.Size(length))
 	}
 }

@@ -3,18 +3,27 @@ package heap
 import "fmt"
 
 // Space is the simulated virtual address space: a growable set of
-// power-of-two sized frames, each backed by its own zeroed byte slab.
+// power-of-two sized frames, each backed by its own zeroed word slab.
 // Frames are mapped on demand and unmapped when their increment is
 // collected; unmapped frame numbers are recycled in FIFO order so that
 // address reuse — and therefore stale-pointer bugs — are exercised, just
 // as they would be against a real mmap'd heap.
+//
+// Slabs are []uint32 rather than []byte: the simulated machine is
+// word-addressed for every collector-visible access, so Word/SetWord
+// compile to a single indexed load/store instead of four byte operations,
+// and CopyObject is a copy() over word slices. Unmapped slabs are pooled
+// and re-zeroed on reuse, keeping frame turnover off the Go allocator.
 type Space struct {
 	Types *Registry
 
 	frameBytes int
 	frameShift uint
-	frames     [][]byte // indexed by Frame; nil when unmapped
-	free       []Frame  // FIFO recycle queue of unmapped frame numbers
+	wordShift  uint       // frameShift - WordShift: word index -> frame number
+	wordMask   uint32     // words-per-frame - 1: word index -> slab offset
+	frames     [][]uint32 // indexed by Frame; nil when unmapped
+	free       []Frame    // FIFO recycle queue of unmapped frame numbers
+	pool       [][]uint32 // unmapped slabs awaiting reuse
 	mapped     int
 
 	// Hooks for cost accounting; nil-safe.
@@ -37,7 +46,9 @@ func NewSpace(frameBytes int, types *Registry) *Space {
 		Types:      types,
 		frameBytes: frameBytes,
 		frameShift: shift,
-		frames:     make([][]byte, 1), // frame 0 reserved, never mapped
+		wordShift:  shift - WordShift,
+		wordMask:   uint32(frameBytes>>WordShift) - 1,
+		frames:     make([][]uint32, 1), // frame 0 reserved, never mapped
 	}
 }
 
@@ -68,6 +79,20 @@ func (s *Space) Mapped(f Frame) bool {
 	return int(f) < len(s.frames) && s.frames[f] != nil
 }
 
+// newSlab returns a zeroed words-per-frame slab, reusing a pooled one
+// when available: clearing a recycled slab is a memclr, with none of the
+// allocator traffic a fresh make incurs on every collection.
+func (s *Space) newSlab() []uint32 {
+	if n := len(s.pool); n > 0 {
+		slab := s.pool[n-1]
+		s.pool[n-1] = nil
+		s.pool = s.pool[:n-1]
+		clear(slab)
+		return slab
+	}
+	return make([]uint32, s.frameBytes>>WordShift)
+}
+
 // MapFrame maps a fresh zeroed frame and returns its number. Recycled
 // frame numbers are reused FIFO.
 func (s *Space) MapFrame() Frame {
@@ -79,7 +104,7 @@ func (s *Space) MapFrame() Frame {
 		f = Frame(len(s.frames))
 		s.frames = append(s.frames, nil)
 	}
-	s.frames[f] = make([]byte, s.frameBytes)
+	s.frames[f] = s.newSlab()
 	s.mapped++
 	if s.OnMap != nil {
 		s.OnMap()
@@ -93,6 +118,7 @@ func (s *Space) UnmapFrame(f Frame) {
 	if !s.Mapped(f) {
 		panic(fmt.Sprintf("heap: unmap of unmapped frame %d", f))
 	}
+	s.pool = append(s.pool, s.frames[f])
 	s.frames[f] = nil
 	s.free = append(s.free, f)
 	s.mapped--
@@ -111,7 +137,7 @@ func (s *Space) MapSpan(n int) Frame {
 	}
 	f := Frame(len(s.frames))
 	for i := 0; i < n; i++ {
-		s.frames = append(s.frames, make([]byte, s.frameBytes))
+		s.frames = append(s.frames, s.newSlab())
 		s.mapped++
 		if s.OnMap != nil {
 			s.OnMap()
@@ -128,35 +154,46 @@ func (s *Space) UnmapSpan(f Frame, n int) {
 	}
 }
 
-// slab returns the backing bytes of the frame containing a, faulting if
-// the address is unmapped or misaligned.
-func (s *Space) slab(a Addr) []byte {
-	f := uint32(a) >> s.frameShift
-	if int(f) >= len(s.frames) || s.frames[f] == nil {
-		panic(fmt.Sprintf("heap: fault at %v (frame %d unmapped)", a, f))
+// fault reconstructs the precise panic for a bad access. It is kept out
+// of line so Word/SetWord stay small enough to inline with a single
+// combined validity branch on the hot path.
+func (s *Space) fault(a Addr, write bool) {
+	if a&3 != 0 {
+		if write {
+			panic(fmt.Sprintf("heap: misaligned write at %v", a))
+		}
+		panic(fmt.Sprintf("heap: misaligned read at %v", a))
 	}
-	return s.frames[f]
+	panic(fmt.Sprintf("heap: fault at %v (frame %d unmapped)", a, uint32(a)>>s.frameShift))
+}
+
+// slabAt returns the word slab of the frame containing a and a's word
+// offset within it, faulting if the address is unmapped or misaligned.
+func (s *Space) slabAt(a Addr, write bool) ([]uint32, uint32) {
+	w := uint32(a) >> WordShift
+	f := w >> s.wordShift
+	if a&3 != 0 || int(f) >= len(s.frames) || s.frames[f] == nil {
+		s.fault(a, write)
+	}
+	return s.frames[f], w & s.wordMask
 }
 
 // Word reads the word at byte address a.
 func (s *Space) Word(a Addr) uint32 {
-	if a&3 != 0 {
-		panic(fmt.Sprintf("heap: misaligned read at %v", a))
+	w := uint32(a) >> WordShift
+	f := w >> s.wordShift
+	if a&3 != 0 || int(f) >= len(s.frames) || s.frames[f] == nil {
+		s.fault(a, false)
 	}
-	b := s.slab(a)
-	off := uint32(a) & uint32(s.frameBytes-1)
-	return uint32(b[off]) | uint32(b[off+1])<<8 | uint32(b[off+2])<<16 | uint32(b[off+3])<<24
+	return s.frames[f][w&s.wordMask]
 }
 
 // SetWord writes the word at byte address a.
 func (s *Space) SetWord(a Addr, v uint32) {
-	if a&3 != 0 {
-		panic(fmt.Sprintf("heap: misaligned write at %v", a))
+	w := uint32(a) >> WordShift
+	f := w >> s.wordShift
+	if a&3 != 0 || int(f) >= len(s.frames) || s.frames[f] == nil {
+		s.fault(a, true)
 	}
-	b := s.slab(a)
-	off := uint32(a) & uint32(s.frameBytes-1)
-	b[off] = byte(v)
-	b[off+1] = byte(v >> 8)
-	b[off+2] = byte(v >> 16)
-	b[off+3] = byte(v >> 24)
+	s.frames[f][w&s.wordMask] = v
 }

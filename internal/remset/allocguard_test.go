@@ -1,0 +1,40 @@
+package remset
+
+import (
+	"testing"
+
+	"beltway/internal/heap"
+)
+
+// Duplicate inserts are the barrier slow path's steady state (repeatedly
+// mutated old-to-young slots); this guard pins them at zero allocations.
+func TestDuplicateInsertZeroAlloc(t *testing.T) {
+	tb := NewTable()
+	// A set large enough to have both a sorted prefix and a tail.
+	for i := 0; i < 2*tailMax; i++ {
+		tb.Insert(1, 2, heap.Addr(0x1000+i*4))
+	}
+	for _, slot := range []heap.Addr{0x1000, heap.Addr(0x1000 + (2*tailMax-1)*4)} {
+		slot := slot
+		if n := testing.AllocsPerRun(100, func() {
+			if tb.Insert(1, 2, slot) {
+				t.Fatal("duplicate insert reported new")
+			}
+		}); n != 0 {
+			t.Errorf("duplicate Insert of %v allocates %v times per op, want 0", slot, n)
+		}
+	}
+}
+
+// A cached-pair miss that still dedups must not allocate either.
+func TestDuplicateInsertPairSwitchZeroAlloc(t *testing.T) {
+	tb := NewTable()
+	tb.Insert(1, 2, 0x1000)
+	tb.Insert(3, 4, 0x2000)
+	if n := testing.AllocsPerRun(100, func() {
+		tb.Insert(1, 2, 0x1000)
+		tb.Insert(3, 4, 0x2000)
+	}); n != 0 {
+		t.Errorf("pair-switching duplicate Insert allocates %v times per run, want 0", n)
+	}
+}

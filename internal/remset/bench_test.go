@@ -1,50 +1,14 @@
-package remset
+package remset_test
 
 import (
 	"testing"
 
-	"beltway/internal/heap"
+	"beltway/internal/bench"
 )
 
-// BenchmarkInsertDistinct measures cold inserts (new slots).
-func BenchmarkInsertDistinct(b *testing.B) {
-	t := NewTable()
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		t.Insert(heap.Frame(i%64), heap.Frame((i+1)%64), heap.Addr(i*4))
-	}
-}
+// Benchmark bodies live in beltway/internal/bench so `go test -bench`
+// and the cmd/bench regression harness measure the same code.
 
-// BenchmarkInsertDuplicate measures the dedup hit path, the common case
-// for repeatedly mutated old-to-young slots.
-func BenchmarkInsertDuplicate(b *testing.B) {
-	t := NewTable()
-	t.Insert(1, 2, 0x1000)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		t.Insert(1, 2, 0x1000)
-	}
-}
-
-// BenchmarkCollectRoots measures the per-collection gather of a
-// realistically sized table (4k entries across 64 pairs).
-func BenchmarkCollectRoots(b *testing.B) {
-	build := func() *Table {
-		t := NewTable()
-		for i := 0; i < 4096; i++ {
-			t.Insert(heap.Frame(i%8+8), heap.Frame(i%8), heap.Addr(i*16))
-		}
-		return t
-	}
-	condemned := func(f heap.Frame) bool { return f < 8 }
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		b.StopTimer()
-		t := build()
-		b.StartTimer()
-		if got := t.CollectRoots(condemned); len(got) == 0 {
-			b.Fatal("no roots")
-		}
-	}
-}
+func BenchmarkInsertDistinct(b *testing.B)  { bench.RemsetInsertDistinct(b) }
+func BenchmarkInsertDuplicate(b *testing.B) { bench.RemsetInsertDuplicate(b) }
+func BenchmarkCollectRoots(b *testing.B)    { bench.RemsetCollectRoots(b) }

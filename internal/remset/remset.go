@@ -8,27 +8,89 @@
 // all sets relating to a frame can be deleted trivially when the frame is
 // collected, and sets between two frames that happen to be collected
 // together can be ignored wholesale.
+//
+// The table is keyed by a packed uint64 (src<<32 | tgt), the paper's
+// rsidx, and each set is a sorted slot slice with a small unsorted tail:
+// duplicate detection is a binary search over the sorted prefix plus a
+// bounded linear scan, and the tail is merged in when it fills. Two
+// per-frame indexes (by source and by target) let DeleteFrame,
+// CollectRoots and EntriesTargeting touch only the sets involving the
+// frames in question instead of scanning the whole table.
 package remset
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"beltway/internal/heap"
 )
 
-// pair identifies a (source frame, target frame) remembered set,
-// mirroring the paper's rsidx = (s << REMSET_SHIFT) | t.
-type pair struct {
-	src, tgt heap.Frame
-}
+// key packs a (source frame, target frame) pair, mirroring the paper's
+// rsidx = (s << REMSET_SHIFT) | t. Sorting keys ascending orders sets by
+// (source, target), the deterministic order CollectRoots emits.
+type key uint64
 
-// set is one per-pair remembered set. Entries are slot addresses and are
-// deduplicated, as GCTk's hash-based remsets were; the insert attempt
+func makeKey(src, tgt heap.Frame) key { return key(uint64(src)<<32 | uint64(tgt)) }
+
+func (k key) src() heap.Frame { return heap.Frame(k >> 32) }
+func (k key) tgt() heap.Frame { return heap.Frame(k) }
+
+// tailMax bounds each set's unsorted tail. Larger values amortize the
+// merge better but lengthen the linear dedup scan; 48 entries keep both
+// in the tens of nanoseconds.
+const tailMax = 48
+
+// set is one per-pair remembered set: a sorted, duplicate-free slice of
+// slot addresses plus a bounded unsorted tail of recent inserts. Entries
+// are deduplicated, as GCTk's hash-based remsets were; the insert attempt
 // count (for barrier cost accounting) is tracked by the caller.
 type set struct {
-	src, tgt heap.Frame
-	slots    map[heap.Addr]struct{}
+	sorted []heap.Addr // ascending, unique
+	tail   []heap.Addr // recent inserts; unique, disjoint from sorted
+}
+
+func (s *set) len() int { return len(s.sorted) + len(s.tail) }
+
+func (s *set) contains(a heap.Addr) bool {
+	if _, ok := slices.BinarySearch(s.sorted, a); ok {
+		return true
+	}
+	return slices.Contains(s.tail, a)
+}
+
+// insert adds a, reporting whether it was newly stored.
+func (s *set) insert(a heap.Addr) bool {
+	if s.contains(a) {
+		return false
+	}
+	s.tail = append(s.tail, a)
+	if len(s.tail) >= tailMax {
+		s.compact()
+	}
+	return true
+}
+
+// compact merges the tail into the sorted prefix: sort the tail, grow the
+// prefix, then merge the two runs back to front in place.
+func (s *set) compact() {
+	nt := len(s.tail)
+	if nt == 0 {
+		return
+	}
+	slices.Sort(s.tail)
+	ns := len(s.sorted)
+	s.sorted = append(s.sorted, s.tail...)
+	i, j := ns-1, nt-1
+	for k := ns + nt - 1; j >= 0; k-- {
+		if i >= 0 && s.sorted[i] > s.tail[j] {
+			s.sorted[k] = s.sorted[i]
+			i--
+		} else {
+			s.sorted[k] = s.tail[j]
+			j--
+		}
+	}
+	s.tail = s.tail[:0]
 }
 
 // DebugSlot, when nonzero, logs every Insert/delete affecting that slot
@@ -37,43 +99,94 @@ var DebugSlot heap.Addr
 
 // Table holds all remembered sets of a running collector.
 type Table struct {
-	sets  map[pair]*set
+	sets  map[key]*set
 	total int
+
+	// Per-frame indexes: the keys of every live set with the given source
+	// (resp. target) frame, and the stored-entry count per target frame.
+	// They bound DeleteFrame and CollectRoots to the sets actually
+	// touching a frame, and make EntriesTargeting — polled from the
+	// allocation path by the remset trigger — O(distinct target frames).
+	bySrc      map[heap.Frame][]key
+	byTgt      map[heap.Frame][]key
+	tgtEntries map[heap.Frame]int
 
 	// single-entry insert cache: pointer stores cluster heavily by
 	// (source, target) frame pair, so this avoids most map lookups.
-	lastPair pair
-	lastSet  *set
+	lastKey key
+	lastSet *set
+
+	matched []key // CollectRoots scratch, reused across collections
 }
 
 // NewTable returns an empty remembered-set table.
 func NewTable() *Table {
-	return &Table{sets: make(map[pair]*set)}
+	return &Table{
+		sets:       make(map[key]*set),
+		bySrc:      make(map[heap.Frame][]key),
+		byTgt:      make(map[heap.Frame][]key),
+		tgtEntries: make(map[heap.Frame]int),
+	}
 }
 
 // Insert records slot (the address of a pointer field in frame src whose
 // value points into frame tgt). It reports whether the entry was newly
 // stored (false means it was a duplicate).
 func (t *Table) Insert(src, tgt heap.Frame, slot heap.Addr) bool {
-	p := pair{src, tgt}
+	k := makeKey(src, tgt)
 	s := t.lastSet
-	if s == nil || t.lastPair != p {
-		s = t.sets[p]
+	if s == nil || t.lastKey != k {
+		s = t.sets[k]
 		if s == nil {
-			s = &set{src: src, tgt: tgt, slots: make(map[heap.Addr]struct{})}
-			t.sets[p] = s
+			s = &set{}
+			t.sets[k] = s
+			t.bySrc[src] = append(t.bySrc[src], k)
+			t.byTgt[tgt] = append(t.byTgt[tgt], k)
 		}
-		t.lastPair, t.lastSet = p, s
+		t.lastKey, t.lastSet = k, s
 	}
-	if _, dup := s.slots[slot]; dup {
+	if !s.insert(slot) {
 		return false
 	}
-	s.slots[slot] = struct{}{}
 	t.total++
+	t.tgtEntries[tgt]++
 	if DebugSlot != 0 && slot == DebugSlot {
 		fmt.Printf("remset: insert (%d,%d) slot %v\n", src, tgt, slot)
 	}
 	return true
+}
+
+// dropKey removes k from the index bucket of frame f in idx.
+func dropKey(idx map[heap.Frame][]key, f heap.Frame, k key) {
+	bucket := idx[f]
+	for i, kk := range bucket {
+		if kk == k {
+			bucket[i] = bucket[len(bucket)-1]
+			idx[f] = bucket[:len(bucket)-1]
+			return
+		}
+	}
+}
+
+// dropSet removes the set under k from the table and all indexes,
+// adjusting the entry counts. keepSrc/keepTgt suppress index maintenance
+// for a frame whose whole bucket the caller is about to discard.
+func (t *Table) dropSet(k key, s *set, keepSrc, keepTgt bool) {
+	n := s.len()
+	t.total -= n
+	tgt := k.tgt()
+	if c := t.tgtEntries[tgt] - n; c > 0 {
+		t.tgtEntries[tgt] = c
+	} else {
+		delete(t.tgtEntries, tgt)
+	}
+	delete(t.sets, k)
+	if !keepSrc {
+		dropKey(t.bySrc, k.src(), k)
+	}
+	if !keepTgt {
+		dropKey(t.byTgt, tgt, k)
+	}
 }
 
 // DeleteFrame removes every set in which f appears as source or target.
@@ -81,18 +194,30 @@ func (t *Table) Insert(src, tgt heap.Frame, slot heap.Addr) bool {
 // it (survivors re-insert during scanning), and entries into a collected
 // frame have been consumed.
 func (t *Table) DeleteFrame(f heap.Frame) {
-	for p, s := range t.sets {
-		if p.src == f || p.tgt == f {
-			if DebugSlot != 0 {
-				if _, ok := s.slots[DebugSlot]; ok {
-					fmt.Printf("remset: DeleteFrame(%d) drops (%d,%d) holding slot %v\n",
-						f, p.src, p.tgt, DebugSlot)
-				}
-			}
-			t.total -= len(s.slots)
-			delete(t.sets, p)
+	for _, k := range t.bySrc[f] {
+		s := t.sets[k]
+		if s == nil {
+			continue // already dropped: the (f, f) self pair
 		}
+		if DebugSlot != 0 && s.contains(DebugSlot) {
+			fmt.Printf("remset: DeleteFrame(%d) drops (%d,%d) holding slot %v\n",
+				f, k.src(), k.tgt(), DebugSlot)
+		}
+		t.dropSet(k, s, true, k.tgt() == f)
 	}
+	delete(t.bySrc, f)
+	for _, k := range t.byTgt[f] {
+		s := t.sets[k]
+		if s == nil {
+			continue // dropped by the source pass above
+		}
+		if DebugSlot != 0 && s.contains(DebugSlot) {
+			fmt.Printf("remset: DeleteFrame(%d) drops (%d,%d) holding slot %v\n",
+				f, k.src(), k.tgt(), DebugSlot)
+		}
+		t.dropSet(k, s, false, true)
+	}
+	delete(t.byTgt, f)
 	t.lastSet = nil
 }
 
@@ -101,12 +226,13 @@ func (t *Table) TotalEntries() int { return t.total }
 
 // EntriesTargeting counts stored entries whose target frame satisfies
 // inTarget. The remset trigger (§3.3.3) compares this against its
-// threshold.
+// threshold; the per-target-frame counts make this one predicate call
+// per distinct target frame rather than one per set.
 func (t *Table) EntriesTargeting(inTarget func(heap.Frame) bool) int {
 	n := 0
-	for p, s := range t.sets {
-		if inTarget(p.tgt) {
-			n += len(s.slots)
+	for f, c := range t.tgtEntries {
+		if inTarget(f) {
+			n += c
 		}
 	}
 	return n
@@ -118,38 +244,40 @@ func (t *Table) EntriesTargeting(inTarget func(heap.Frame) bool) int {
 // The matched sets are removed from the table; the caller deletes the
 // remaining sets touching condemned frames via DeleteFrame.
 func (t *Table) CollectRoots(condemned func(heap.Frame) bool) []heap.Addr {
-	var matched []*set
-	for p, s := range t.sets {
-		if condemned(p.tgt) && !condemned(p.src) {
-			if DebugSlot != 0 {
-				if _, ok := s.slots[DebugSlot]; ok {
-					fmt.Printf("remset: CollectRoots consumes (%d,%d) holding slot %v\n",
-						p.src, p.tgt, DebugSlot)
-				}
+	return t.AppendRoots(nil, condemned)
+}
+
+// AppendRoots is CollectRoots appending into dst, so a caller with a
+// reusable buffer collects without allocating.
+func (t *Table) AppendRoots(dst []heap.Addr, condemned func(heap.Frame) bool) []heap.Addr {
+	matched := t.matched[:0]
+	for f, bucket := range t.byTgt {
+		if !condemned(f) {
+			continue
+		}
+		for _, k := range bucket {
+			if condemned(k.src()) {
+				continue
 			}
-			matched = append(matched, s)
-			t.total -= len(s.slots)
-			delete(t.sets, p)
+			matched = append(matched, k)
 		}
 	}
+	// Deterministic order: packed keys sort by (src, tgt), then slot
+	// address ascending within each set.
+	slices.Sort(matched)
+	for _, k := range matched {
+		s := t.sets[k]
+		if DebugSlot != 0 && s.contains(DebugSlot) {
+			fmt.Printf("remset: CollectRoots consumes (%d,%d) holding slot %v\n",
+				k.src(), k.tgt(), DebugSlot)
+		}
+		s.compact()
+		dst = append(dst, s.sorted...)
+		t.dropSet(k, s, false, false)
+	}
+	t.matched = matched[:0]
 	t.lastSet = nil
-	// Deterministic order: by (src, tgt), then slot address.
-	sort.Slice(matched, func(i, j int) bool {
-		if matched[i].src != matched[j].src {
-			return matched[i].src < matched[j].src
-		}
-		return matched[i].tgt < matched[j].tgt
-	})
-	var out []heap.Addr
-	for _, s := range matched {
-		start := len(out)
-		for a := range s.slots {
-			out = append(out, a)
-		}
-		slice := out[start:]
-		sort.Slice(slice, func(i, j int) bool { return slice[i] < slice[j] })
-	}
-	return out
+	return dst
 }
 
 // NumSets returns the number of live (source, target) sets.
@@ -159,8 +287,8 @@ func (t *Table) NumSets() int { return len(t.sets) }
 // satisfies match. The MOS train-death test uses it to ask "does any
 // remembered pointer enter this train from outside it?".
 func (t *Table) AnyEntry(match func(src, tgt heap.Frame) bool) bool {
-	for p, s := range t.sets {
-		if len(s.slots) > 0 && match(p.src, p.tgt) {
+	for k, s := range t.sets {
+		if s.len() > 0 && match(k.src(), k.tgt()) {
 			return true
 		}
 	}
@@ -171,10 +299,6 @@ func (t *Table) AnyEntry(match func(src, tgt heap.Frame) bool) bool {
 // the heap invariant checker; the collector itself never needs point
 // lookups.
 func (t *Table) Contains(src, tgt heap.Frame, slot heap.Addr) bool {
-	s := t.sets[pair{src, tgt}]
-	if s == nil {
-		return false
-	}
-	_, ok := s.slots[slot]
-	return ok
+	s := t.sets[makeKey(src, tgt)]
+	return s != nil && s.contains(slot)
 }

@@ -1,106 +1,19 @@
-package trace
+package trace_test
 
 import (
-	"bytes"
 	"testing"
 
-	"beltway/internal/collectors"
-	"beltway/internal/core"
-	"beltway/internal/heap"
-	"beltway/internal/vm"
+	"beltway/internal/bench"
 )
 
-// buildTrace records a medium workload once for the benchmarks.
-func buildTrace(b *testing.B) *Trace {
-	b.Helper()
-	types := heap.NewRegistry()
-	h, err := core.New(collectors.XX100(25,
-		collectors.Options{HeapBytes: 1 << 20, FrameBytes: 8192}), types)
-	if err != nil {
-		b.Fatal(err)
-	}
-	m := vm.New(h)
-	tr := NewTrace()
-	m.SetRecorder(tr)
-	node := types.DefineScalar("n", 1, 1)
-	if err := m.Run(func() {
-		for i := 0; i < 20000; i++ {
-			m.Push()
-			x := m.Alloc(node, 0)
-			m.SetData(x, 0, uint32(i))
-			m.Pop()
-		}
-	}); err != nil {
-		b.Fatal(err)
-	}
-	return tr
-}
+// Benchmark bodies live in beltway/internal/bench so `go test -bench`
+// and the cmd/bench regression harness measure the same code.
 
 // BenchmarkRecordOverhead measures the mutator slowdown of recording.
 func BenchmarkRecordOverhead(b *testing.B) {
-	for _, recording := range []bool{false, true} {
-		name := "off"
-		if recording {
-			name = "on"
-		}
-		b.Run(name, func(b *testing.B) {
-			types := heap.NewRegistry()
-			h, err := core.New(collectors.XX100(25,
-				collectors.Options{HeapBytes: 4 << 20, FrameBytes: 8192}), types)
-			if err != nil {
-				b.Fatal(err)
-			}
-			m := vm.New(h)
-			if recording {
-				m.SetRecorder(NewTrace())
-			}
-			node := types.DefineScalar("n", 1, 1)
-			b.ResetTimer()
-			err = m.Run(func() {
-				for i := 0; i < b.N; i++ {
-					m.Push()
-					x := m.Alloc(node, 0)
-					m.SetData(x, 0, uint32(i))
-					m.Pop()
-				}
-			})
-			if err != nil {
-				b.Fatal(err)
-			}
-		})
-	}
+	b.Run("off", bench.TraceRecordOff)
+	b.Run("on", bench.TraceRecordOn)
 }
 
-// BenchmarkReplay measures replay throughput (events/op via SetBytes).
-func BenchmarkReplay(b *testing.B) {
-	tr := buildTrace(b)
-	b.SetBytes(int64(tr.Len()))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		types := heap.NewRegistry()
-		h, err := core.New(collectors.XX100(25,
-			collectors.Options{HeapBytes: 1 << 20, FrameBytes: 8192}), types)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := Replay(tr, vm.New(h)); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkSerialize measures trace encode+decode round trips.
-func BenchmarkSerialize(b *testing.B) {
-	tr := buildTrace(b)
-	b.SetBytes(int64(tr.Len()))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		var buf bytes.Buffer
-		if _, err := tr.WriteTo(&buf); err != nil {
-			b.Fatal(err)
-		}
-		if _, err := ReadFrom(&buf); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkReplay(b *testing.B)    { bench.TraceReplay(b) }
+func BenchmarkSerialize(b *testing.B) { bench.TraceSerialize(b) }

@@ -1,38 +1,17 @@
-package workload
+package workload_test
 
 import (
-	"math/rand"
 	"testing"
 
-	"beltway/internal/collectors"
-	"beltway/internal/core"
-	"beltway/internal/heap"
-	"beltway/internal/vm"
+	"beltway/internal/bench"
 )
 
-// benchmarkWorkload measures end-to-end simulated-mutator throughput for
-// one benchmark body on a roomy heap (collector cost mostly excluded).
-func benchmarkWorkload(b *testing.B, name string) {
-	bench := Get(name)
-	for i := 0; i < b.N; i++ {
-		types := heap.NewRegistry()
-		h, err := core.New(collectors.XX100(25,
-			collectors.Options{HeapBytes: 8 << 20, FrameBytes: 8 * 1024}), types)
-		if err != nil {
-			b.Fatal(err)
-		}
-		m := vm.New(h)
-		ctx := &Ctx{M: m, Types: types, Rng: rand.New(rand.NewSource(1)), Scale: 0.1}
-		if err := m.Run(func() { bench.Body(ctx) }); err != nil {
-			b.Fatal(err)
-		}
-		b.SetBytes(int64(h.Clock().Counters.BytesAllocated))
-	}
-}
+// Benchmark bodies live in beltway/internal/bench so `go test -bench`
+// and the cmd/bench regression harness measure the same code.
 
-func BenchmarkWorkloadJess(b *testing.B)      { benchmarkWorkload(b, "jess") }
-func BenchmarkWorkloadRaytrace(b *testing.B)  { benchmarkWorkload(b, "raytrace") }
-func BenchmarkWorkloadDB(b *testing.B)        { benchmarkWorkload(b, "db") }
-func BenchmarkWorkloadJavac(b *testing.B)     { benchmarkWorkload(b, "javac") }
-func BenchmarkWorkloadJack(b *testing.B)      { benchmarkWorkload(b, "jack") }
-func BenchmarkWorkloadPseudoJBB(b *testing.B) { benchmarkWorkload(b, "pseudojbb") }
+func BenchmarkWorkloadJess(b *testing.B)      { bench.WorkloadJess(b) }
+func BenchmarkWorkloadRaytrace(b *testing.B)  { bench.WorkloadRaytrace(b) }
+func BenchmarkWorkloadDB(b *testing.B)        { bench.WorkloadDB(b) }
+func BenchmarkWorkloadJavac(b *testing.B)     { bench.WorkloadJavac(b) }
+func BenchmarkWorkloadJack(b *testing.B)      { bench.WorkloadJack(b) }
+func BenchmarkWorkloadPseudoJBB(b *testing.B) { bench.WorkloadPseudoJBB(b) }
