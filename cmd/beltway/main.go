@@ -24,6 +24,7 @@ import (
 	"beltway/internal/core"
 	"beltway/internal/harness"
 	"beltway/internal/stats"
+	"beltway/internal/telemetry"
 	"beltway/internal/workload"
 )
 
@@ -39,6 +40,13 @@ func main() {
 		physMB  = flag.Int("physmem", -1, "modelled physical memory in MB (0 = off, -1 = auto)")
 		showMMU = flag.Bool("mmu", false, "print the MMU curve")
 		preten  = flag.Bool("pretenure", false, "route known-long-lived allocation sites to older belts")
+
+		traceOut = flag.String("trace-out", "",
+			"write a Chrome trace_event JSON of the run's GC events")
+		metricsOut = flag.String("metrics-out", "",
+			"write the run's metrics in Prometheus text exposition format")
+		timelineOut = flag.String("timeline", "",
+			"write an ASCII heap-composition timeline ('-' for stdout)")
 	)
 	flag.Parse()
 
@@ -83,11 +91,57 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	env.Telemetry = true
 	res, err := harness.RunOne(config, b, env)
 	if err != nil {
 		fatalf("%v", err)
 	}
 	printResult(res)
+	table := harness.ResultsTable([]*harness.Result{res})
+	fmt.Printf("\n%s", table.String())
+
+	runName := fmt.Sprintf("%s / %s", res.Collector, res.Benchmark)
+	if *timelineOut != "" && res.Telemetry != nil {
+		out := os.Stdout
+		if *timelineOut != "-" {
+			f, ferr := os.Create(*timelineOut)
+			if ferr != nil {
+				fatalf("-timeline: %v", ferr)
+			}
+			defer f.Close()
+			out = f
+		}
+		fmt.Fprintln(out)
+		if err := telemetry.WriteTimeline(out, runName, res.Telemetry.Events); err != nil {
+			fatalf("-timeline: %v", err)
+		}
+	}
+	if *traceOut != "" && res.Telemetry != nil {
+		f, ferr := os.Create(*traceOut)
+		if ferr != nil {
+			fatalf("-trace-out: %v", ferr)
+		}
+		defer f.Close()
+		if err := telemetry.WriteChromeTrace(f, []telemetry.TraceRun{
+			{Name: runName, Pid: 1, Events: res.Telemetry.Events},
+		}); err != nil {
+			fatalf("-trace-out: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "beltway: wrote Chrome trace to %s\n", *traceOut)
+	}
+	if *metricsOut != "" && res.Telemetry != nil {
+		agg := telemetry.NewAggregator()
+		agg.Add(res.Collector, res.Telemetry)
+		f, ferr := os.Create(*metricsOut)
+		if ferr != nil {
+			fatalf("-metrics-out: %v", ferr)
+		}
+		defer f.Close()
+		if err := agg.WritePrometheus(f); err != nil {
+			fatalf("-metrics-out: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "beltway: wrote Prometheus metrics to %s\n", *metricsOut)
+	}
 	if *showMMU && !res.OOM {
 		curve := res.MMU(24)
 		fmt.Printf("\nMMU curve (max pause %.3f ms, throughput %.3f):\n",
@@ -110,8 +164,8 @@ func printResult(r *harness.Result) {
 	fmt.Printf("  total time          %10.3f s (nominal)\n", r.TotalTime/733e6)
 	fmt.Printf("  gc time             %10.3f s (%.1f%%)\n", r.GCTime/733e6, 100*r.GCFraction())
 	ps := stats.SummarizePauses(r.Pauses)
-	fmt.Printf("  pauses              %10d (median %.3f ms, p90 %.3f, p99 %.3f, max %.3f)\n",
-		ps.Count, ps.Median/733e3, ps.P90/733e3, ps.P99/733e3, ps.Max/733e3)
+	fmt.Printf("  pauses              %10d (median %.3f ms, p90 %.3f, p95 %.3f, p99 %.3f, max %.3f)\n",
+		ps.Count, ps.Median/733e3, ps.P90/733e3, ps.P95/733e3, ps.P99/733e3, ps.Max/733e3)
 	fmt.Printf("  collections         %10d (%d full)\n", r.Collections, c.FullCollections)
 	fmt.Printf("  allocated           %10.2f MB in %d objects\n",
 		float64(c.BytesAllocated)/(1<<20), c.ObjectsAllocated)

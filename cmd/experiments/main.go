@@ -28,15 +28,21 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
+	"sync"
 
+	"beltway/internal/engine"
 	"beltway/internal/experiments"
 	"beltway/internal/harness"
 	"beltway/internal/stats"
+	"beltway/internal/telemetry"
 	"beltway/internal/workload"
 )
 
@@ -63,6 +69,15 @@ func main() {
 			"per-run wall-clock budget (e.g. 30s; 0 = none); exceeded runs are recorded as failures")
 		budget = flag.Float64("budget", 0,
 			"per-run cost budget in nominal seconds of simulated time (0 = none); exceeded runs abort deterministically")
+
+		traceOut = flag.String("trace-out", "",
+			"write a Chrome trace_event JSON of every run's GC events (open in chrome://tracing or Perfetto)")
+		metricsOut = flag.String("metrics-out", "",
+			"write aggregated metrics in Prometheus text exposition format")
+		timelineOut = flag.String("timeline", "",
+			"write an ASCII heap-composition timeline per run")
+		metricsAddr = flag.String("metrics-addr", "",
+			"serve live aggregated metrics over HTTP at this address (e.g. :9090) while the sweep runs")
 	)
 	flag.Parse()
 	if *resume && *checkpoint == "" {
@@ -88,6 +103,22 @@ func main() {
 		env.CostBudget = *budget * stats.CyclesPerSecond
 	}
 
+	// Telemetry: observability output goes to files (and the optional HTTP
+	// endpoint), never stdout, so the printed tables stay byte-identical
+	// with telemetry enabled or disabled.
+	var obs *observer
+	if *traceOut != "" || *metricsOut != "" || *timelineOut != "" || *metricsAddr != "" {
+		env.Telemetry = true
+		obs = newObserver()
+		if *metricsAddr != "" {
+			go func() {
+				if err := http.ListenAndServe(*metricsAddr, obs.agg.Handler()); err != nil {
+					fmt.Fprintf(os.Stderr, "experiments: metrics endpoint: %v\n", err)
+				}
+			}()
+		}
+	}
+
 	opts := experiments.Opts{
 		Env:        env,
 		Points:     *points,
@@ -95,6 +126,9 @@ func main() {
 		Checkpoint: *checkpoint,
 		Resume:     *resume,
 		Timeout:    *timeout,
+	}
+	if obs != nil {
+		opts.OnRecord = obs.onRecord
 	}
 	if *benchSel != "" {
 		for _, name := range strings.Split(*benchSel, ",") {
@@ -137,6 +171,129 @@ func main() {
 			}
 		}
 	}
+
+	if obs != nil {
+		if *traceOut != "" {
+			if err := obs.writeTrace(*traceOut); err != nil {
+				fatalf("-trace-out: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "experiments: wrote Chrome trace to %s\n", *traceOut)
+		}
+		if *metricsOut != "" {
+			if err := obs.writeMetrics(*metricsOut); err != nil {
+				fatalf("-metrics-out: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "experiments: wrote Prometheus metrics to %s\n", *metricsOut)
+		}
+		if *timelineOut != "" {
+			if err := obs.writeTimelines(*timelineOut); err != nil {
+				fatalf("-timeline: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "experiments: wrote heap timelines to %s\n", *timelineOut)
+		}
+	}
+}
+
+// observer aggregates telemetry from engine records as runs settle. Safe
+// for concurrent use (records arrive from worker goroutines).
+type observer struct {
+	agg *telemetry.Aggregator
+
+	mu   sync.Mutex
+	runs map[string]observedRun // by engine key, deduplicated
+}
+
+type observedRun struct {
+	name   string
+	events []telemetry.Event
+}
+
+func newObserver() *observer {
+	return &observer{agg: telemetry.NewAggregator(), runs: map[string]observedRun{}}
+}
+
+// onRecord decodes a settled engine record's payload and folds its
+// telemetry into the aggregate. Records without telemetry (failures,
+// resumed from a telemetry-less checkpoint) are skipped.
+func (o *observer) onRecord(rec engine.Record) {
+	if !rec.Outcome.Completed() || len(rec.Payload) == 0 {
+		return
+	}
+	var p harness.RunPayload
+	if err := json.Unmarshal(rec.Payload, &p); err != nil || p.Result == nil || p.Result.Telemetry == nil {
+		return
+	}
+	key := rec.Key.String()
+	o.mu.Lock()
+	_, seen := o.runs[key]
+	if !seen {
+		o.runs[key] = observedRun{
+			name: fmt.Sprintf("%s / %s @ %sMB", p.Result.Collector, p.Result.Benchmark,
+				harness.FmtMB(p.Result.HeapBytes)),
+			events: p.Result.Telemetry.Events,
+		}
+	}
+	o.mu.Unlock()
+	if !seen {
+		o.agg.Add(p.Result.Collector, p.Result.Telemetry)
+	}
+}
+
+// sortedRuns returns the observed runs ordered by key, so file output is
+// deterministic regardless of completion order.
+func (o *observer) sortedRuns() []observedRun {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	keys := make([]string, 0, len(o.runs))
+	for k := range o.runs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]observedRun, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, o.runs[k])
+	}
+	return out
+}
+
+func (o *observer) writeTrace(path string) error {
+	runs := o.sortedRuns()
+	tr := make([]telemetry.TraceRun, len(runs))
+	for i, r := range runs {
+		tr[i] = telemetry.TraceRun{Name: r.name, Pid: i + 1, Events: r.events}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return telemetry.WriteChromeTrace(f, tr)
+}
+
+func (o *observer) writeMetrics(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return o.agg.WritePrometheus(f)
+}
+
+func (o *observer) writeTimelines(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for _, r := range o.sortedRuns() {
+		if err := telemetry.WriteTimeline(f, r.name, r.events); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(f); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func fatalf(format string, args ...any) {

@@ -32,6 +32,7 @@ import (
 	"beltway/internal/harness"
 	"beltway/internal/heap"
 	"beltway/internal/stats"
+	"beltway/internal/telemetry"
 	"beltway/internal/trace"
 	"beltway/internal/vm"
 	"beltway/internal/workload"
@@ -42,13 +43,20 @@ func main() {
 		benchName = flag.String("bench", "jess", "benchmark to record")
 		scale     = flag.Float64("scale", 0.25, "workload scale for recording")
 		heapMB    = flag.Float64("heapMB", 0, "heap size in MB (0 = 1.5x recorded min)")
-		gcs       = flag.String("gcs", "ss,appel,fixed:25,25.25,25.25.100,25.25.mos,bof:25,bofm:25",
+		gcs       = flag.String("gcs", "ss,appel,ba2,fixed:25,25.25,25.25.100,25.25.mos,bof:25,bofm:25",
 			"comma-separated collector specs to replay against")
 		recordTo  = flag.String("record", "", "write the recorded trace to this file and exit")
 		replayArg = flag.String("trace", "", "replay this trace file instead of recording")
 		seed      = flag.Int64("seed", 1, "PRNG seed for recording")
 		jobs      = flag.Int("jobs", runtime.GOMAXPROCS(0),
 			"parallel replays (worker pool size); the report order is fixed")
+
+		traceOut = flag.String("trace-out", "",
+			"write a Chrome trace_event JSON of every replay's GC events")
+		metricsOut = flag.String("metrics-out", "",
+			"write per-collector metrics in Prometheus text exposition format")
+		timelineOut = flag.String("timeline", "",
+			"write an ASCII heap-composition timeline per replay")
 	)
 	flag.Parse()
 
@@ -137,14 +145,17 @@ func main() {
 		cfgs = append(cfgs, cfg)
 	}
 	type replayRow struct {
-		Collections     uint64  `json:"collections"`
-		FullCollections uint64  `json:"full_collections"`
-		CopiedMB        float64 `json:"copied_mb"`
-		RemsetInserts   uint64  `json:"remset_inserts"`
-		CardsScanned    uint64  `json:"cards_scanned"`
-		GCFraction      float64 `json:"gc_fraction"`
-		MedianPauseMS   float64 `json:"median_pause_ms"`
-		MaxPauseMS      float64 `json:"max_pause_ms"`
+		Collections     uint64                 `json:"collections"`
+		FullCollections uint64                 `json:"full_collections"`
+		CopiedMB        float64                `json:"copied_mb"`
+		RemsetInserts   uint64                 `json:"remset_inserts"`
+		CardsScanned    uint64                 `json:"cards_scanned"`
+		GCFraction      float64                `json:"gc_fraction"`
+		MedianPauseMS   float64                `json:"median_pause_ms"`
+		P95PauseMS      float64                `json:"p95_pause_ms"`
+		P99PauseMS      float64                `json:"p99_pause_ms"`
+		MaxPauseMS      float64                `json:"max_pause_ms"`
+		Telemetry       *telemetry.RunSnapshot `json:"telemetry,omitempty"`
 	}
 	eng := engine.New(engine.Config{Workers: *jobs})
 	ejobs := make([]engine.Job, len(cfgs))
@@ -158,6 +169,8 @@ func main() {
 				if err != nil {
 					return nil, "", err
 				}
+				tele := telemetry.NewRun(h.Clock())
+				h.SetHooks(tele.Hooks())
 				m := vm.New(h)
 				if err := trace.Replay(tr, m); err != nil {
 					return nil, "", err
@@ -172,7 +185,10 @@ func main() {
 					CardsScanned:    c.CardsScanned,
 					GCFraction:      h.Clock().GCFraction(),
 					MedianPauseMS:   ps.Median / 733e3,
+					P95PauseMS:      ps.P95 / 733e3,
+					P99PauseMS:      ps.P99 / 733e3,
 					MaxPauseMS:      ps.Max / 733e3,
+					Telemetry:       tele.Snapshot(),
 				}, engine.OK, nil
 			},
 		}
@@ -183,23 +199,74 @@ func main() {
 	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "collector\tGCs\tfull\tcopied MB\tremset ins\tcards\tGC %\tmedian pause ms\tmax pause ms")
+	fmt.Fprintln(w, "collector\tGCs\tfull\tcopied MB\tremset ins\tcards\tGC %\tp50 ms\tp95 ms\tp99 ms\tmax ms")
+	agg := telemetry.NewAggregator()
+	type namedRun struct {
+		name   string
+		events []telemetry.Event
+	}
+	var runs []namedRun
 	for i, rec := range recs {
 		if rec.Outcome != engine.OK {
-			fmt.Fprintf(w, "%s\tfailed: %s\t\t\t\t\t\t\t\n", cfgs[i].Name, rec.Error)
+			fmt.Fprintf(w, "%s\tfailed: %s\t\t\t\t\t\t\t\t\t\n", cfgs[i].Name, rec.Error)
 			continue
 		}
 		var r replayRow
 		if err := json.Unmarshal(rec.Payload, &r); err != nil {
-			fmt.Fprintf(w, "%s\tfailed: %v\t\t\t\t\t\t\t\n", cfgs[i].Name, err)
+			fmt.Fprintf(w, "%s\tfailed: %v\t\t\t\t\t\t\t\t\t\n", cfgs[i].Name, err)
 			continue
 		}
-		fmt.Fprintf(w, "%s\t%d\t%d\t%.2f\t%d\t%d\t%.1f%%\t%.3f\t%.3f\n",
+		fmt.Fprintf(w, "%s\t%d\t%d\t%.2f\t%d\t%d\t%.1f%%\t%.3f\t%.3f\t%.3f\t%.3f\n",
 			cfgs[i].Name, r.Collections, r.FullCollections,
 			r.CopiedMB, r.RemsetInserts, r.CardsScanned,
-			100*r.GCFraction, r.MedianPauseMS, r.MaxPauseMS)
+			100*r.GCFraction, r.MedianPauseMS, r.P95PauseMS, r.P99PauseMS, r.MaxPauseMS)
+		if r.Telemetry != nil {
+			agg.Add(cfgs[i].Name, r.Telemetry)
+			runs = append(runs, namedRun{name: cfgs[i].Name, events: r.Telemetry.Events})
+		}
 	}
 	w.Flush()
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatalf("-trace-out: %v", err)
+		}
+		trs := make([]telemetry.TraceRun, len(runs))
+		for i, r := range runs {
+			trs[i] = telemetry.TraceRun{Name: r.name, Pid: i + 1, Events: r.events}
+		}
+		if err := telemetry.WriteChromeTrace(f, trs); err != nil {
+			fatalf("-trace-out: %v", err)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "tracebench: wrote Chrome trace to %s\n", *traceOut)
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fatalf("-metrics-out: %v", err)
+		}
+		if err := agg.WritePrometheus(f); err != nil {
+			fatalf("-metrics-out: %v", err)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "tracebench: wrote Prometheus metrics to %s\n", *metricsOut)
+	}
+	if *timelineOut != "" {
+		f, err := os.Create(*timelineOut)
+		if err != nil {
+			fatalf("-timeline: %v", err)
+		}
+		for _, r := range runs {
+			if err := telemetry.WriteTimeline(f, r.name, r.events); err != nil {
+				fatalf("-timeline: %v", err)
+			}
+			fmt.Fprintln(f)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "tracebench: wrote heap timelines to %s\n", *timelineOut)
+	}
 }
 
 func fatalf(format string, args ...any) {

@@ -15,7 +15,7 @@ type Entry struct {
 
 // Suites lists the suite names in run order.
 func Suites() []string {
-	return []string{"heap", "core", "remset", "trace", "workload"}
+	return []string{"heap", "core", "remset", "trace", "telemetry", "workload"}
 }
 
 // All returns every registered benchmark in deterministic (suite, then
@@ -39,6 +39,11 @@ func All() []Entry {
 		{"trace", "RecordOn", TraceRecordOn},
 		{"trace", "Replay", TraceReplay},
 		{"trace", "Serialize", TraceSerialize},
+		{"telemetry", "EmitEvent", TelemetryEmitEvent},
+		{"telemetry", "HistogramObserve", TelemetryHistogramObserve},
+		{"telemetry", "CounterAdd", TelemetryCounterAdd},
+		{"telemetry", "GCCycleHooks", TelemetryGCCycleHooks},
+		{"telemetry", "Collection", TelemetryCollection},
 		{"workload", "Jess", WorkloadJess},
 		{"workload", "Raytrace", WorkloadRaytrace},
 		{"workload", "DB", WorkloadDB},

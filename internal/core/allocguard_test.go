@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"beltway/internal/collectors"
+	"beltway/internal/telemetry"
 )
 
 // The write barrier is the mutator's hottest instrumented path; these
@@ -49,5 +50,31 @@ func TestWriteBarrierSlowPathDuplicateZeroAlloc(t *testing.T) {
 		h.WriteRef(oa, 0, ya) // duplicate remset entry
 	}); n != 0 {
 		t.Errorf("barrier slow path (duplicate) allocates %v times per op, want 0", n)
+	}
+}
+
+// TestHotPathsZeroAllocWithTelemetry re-runs the barrier guard with a
+// telemetry.Run attached: observability must not put allocations (or any
+// other work) on the mutator's fast path.
+func TestHotPathsZeroAllocWithTelemetry(t *testing.T) {
+	o := collectors.Options{HeapBytes: 64 << 20, FrameBytes: 1 << 20}
+	h, node := benchHeap(t, collectors.XX100(25, o))
+	tele := telemetry.NewRun(h.Clock())
+	h.SetHooks(tele.Hooks())
+	roots := h.Roots()
+	r1 := roots.Add(mustAlloc(t, h, node))
+	r2 := roots.Add(mustAlloc(t, h, node))
+	// A collection first, so the hooks have demonstrably fired.
+	if err := h.Collect(false); err != nil {
+		t.Fatal(err)
+	}
+	if tele.Recorder().Total() == 0 {
+		t.Fatal("hooks attached but no events recorded")
+	}
+	a1, a2 := roots.Get(r1), roots.Get(r2) // survivors share a frame: fast path
+	if n := testing.AllocsPerRun(100, func() {
+		h.WriteRef(a1, 0, a2)
+	}); n != 0 {
+		t.Errorf("barrier fast path with telemetry allocates %v times per op, want 0", n)
 	}
 }

@@ -54,7 +54,7 @@ func (st *gcState) reset(victims []*Increment, nBelts int) {
 // configurations — the entire boot image and large object space. When
 // every increment is condemned, the large object space is mark-swept
 // alongside the trace.
-func (h *Heap) collect(victims []*Increment) error {
+func (h *Heap) collect(victims []*Increment, trigger gc.TriggerKind) error {
 	if h.inGC {
 		panic("core: recursive collection")
 	}
@@ -66,6 +66,8 @@ func (h *Heap) collect(victims []*Increment) error {
 	}
 	h.clock.BeginPause()
 	defer h.clock.EndPause()
+	t0 := h.clock.Now()
+	c0 := h.clock.Counters // pre-collection snapshot for GCEnd deltas
 	h.clock.Advance(h.cfg.Costs.GCSetup)
 	h.gcCount++
 	c := &h.clock.Counters
@@ -77,8 +79,26 @@ func (h *Heap) collect(victims []*Increment) error {
 		in.condemned = true
 		condemnedBytes += in.bytes
 	}
-	if condemnedBytes >= preOccupancy && preOccupancy > 0 {
+	full := condemnedBytes >= preOccupancy && preOccupancy > 0
+	if full {
 		c.FullCollections++
+	}
+	if h.hooks.GCBegin != nil {
+		h.hooks.GCBegin(gc.GCBeginInfo{
+			Trigger:             trigger,
+			Full:                full,
+			CondemnedIncrements: len(victims),
+			CondemnedBytes:      condemnedBytes,
+			OccupiedBytes:       preOccupancy,
+		})
+	}
+	if h.hooks.Condemned != nil {
+		for _, in := range victims {
+			h.hooks.Condemned(gc.IncrementInfo{
+				Belt: in.belt, Seq: in.seq, Train: in.train,
+				Bytes: in.bytes, Frames: len(in.frames),
+			})
+		}
 	}
 	// A collection condemning every increment traces all live data, so
 	// it can also mark-sweep the large object space.
@@ -189,6 +209,31 @@ func (h *Heap) collect(victims []*Increment) error {
 
 	h.recomputeReserve()
 	h.inGC = false // the heap is consistent again; hooks may inspect it
+	cn := h.clock.Counters
+	if h.hooks.GCEnd != nil {
+		h.hooks.GCEnd(gc.GCEndInfo{
+			Duration:         h.clock.Now() - t0,
+			BytesCopied:      cn.BytesCopied - c0.BytesCopied,
+			ObjectsCopied:    cn.ObjectsCopied - c0.ObjectsCopied,
+			RemsetEntries:    cn.RemsetEntriesGC - c0.RemsetEntriesGC,
+			CardsScanned:     cn.CardsScanned - c0.CardsScanned,
+			BootBytesScanned: cn.BootBytesScanned - c0.BootBytesScanned,
+			BarrierSlowPaths: cn.BarrierSlowPaths - h.slowAtLastGC,
+			SurvivorBytes:    h.LiveEstimate(),
+		})
+	}
+	h.slowAtLastGC = cn.BarrierSlowPaths
+	if h.hooks.Occupancy != nil {
+		for bi, b := range h.belts {
+			frames := 0
+			for _, in := range b.incrs {
+				frames += len(in.frames)
+			}
+			h.hooks.Occupancy(gc.BeltStat{
+				Belt: bi, Increments: b.Len(), Bytes: b.Bytes(), Frames: frames,
+			})
+		}
+	}
 	if h.hooks.PostGC != nil {
 		h.hooks.PostGC()
 	}
@@ -498,6 +543,7 @@ func (h *Heap) scanBootImage(st *gcState) error {
 func (h *Heap) gcAddFrame(in *Increment) error {
 	limit := h.cfg.HeapBytes + (len(h.belts)+2)*h.cfg.FrameBytes
 	if (h.heapFrames+1)*h.cfg.FrameBytes > limit {
+		h.noteOOM(0)
 		return &gc.OOMError{HeapBytes: h.cfg.HeapBytes,
 			Detail: fmt.Sprintf("%s: copy reserve exhausted during collection", h.cfg.Name)}
 	}
@@ -517,6 +563,7 @@ func (h *Heap) gcAddFrame(in *Increment) error {
 			}
 		}
 		if held+1 > beltCap {
+			h.noteOOM(0)
 			return &gc.OOMError{HeapBytes: h.cfg.HeapBytes,
 				Detail: fmt.Sprintf("%s: survivors exceed the space left by reserved belts", h.cfg.Name)}
 		}

@@ -44,7 +44,8 @@ type Heap struct {
 	serial       uint32
 	inGC         bool
 	gcCount      uint64
-	remsetPoll   int // allocation counter throttling the remset trigger poll
+	slowAtLastGC uint64 // Counters.BarrierSlowPaths at the previous GCEnd
+	remsetPoll   int    // allocation counter throttling the remset trigger poll
 	mos          mosState
 	los          losState
 
@@ -135,6 +136,15 @@ func (h *Heap) LiveEstimate() int {
 
 // SetHooks implements gc.Hookable.
 func (h *Heap) SetHooks(hooks gc.Hooks) { h.hooks = hooks }
+
+// noteOOM reports an out-of-memory condition to the OOM hook (requested
+// is 0 when the copy reserve ran out mid-collection rather than a
+// mutator allocation failing).
+func (h *Heap) noteOOM(requested int) {
+	if h.hooks.OOM != nil {
+		h.hooks.OOM(requested, h.cfg.HeapBytes)
+	}
+}
 
 // FootprintBytes returns the mapped memory footprint (heap + boot image),
 // the quantity compared against physical memory by the paging model.
@@ -239,6 +249,7 @@ func (h *Heap) Alloc(t *heap.TypeDesc, length int) (heap.Addr, error) {
 			return heap.Nil, err
 		}
 	}
+	h.noteOOM(size)
 	return heap.Nil, &gc.OOMError{Requested: size, HeapBytes: h.cfg.HeapBytes,
 		Detail: fmt.Sprintf("%s: no progress after repeated collections", h.cfg.Name)}
 }

@@ -107,6 +107,7 @@ func (h *Heap) allocLOS(t *heap.TypeDesc, length, size int) (heap.Addr, error) {
 			return heap.Nil, err
 		}
 	}
+	h.noteOOM(size)
 	return heap.Nil, &gc.OOMError{Requested: size, HeapBytes: h.cfg.HeapBytes,
 		Detail: fmt.Sprintf("%s: large object of %d frames found no space", h.cfg.Name, nFrames)}
 }

@@ -21,10 +21,11 @@ func (h *Heap) nurseryMinBytes() int {
 func (h *Heap) collectForAlloc() error {
 	victims := h.chooseVictims()
 	if len(victims) == 0 {
+		h.noteOOM(0)
 		return &gc.OOMError{HeapBytes: h.cfg.HeapBytes,
 			Detail: h.cfg.Name + ": heap full with nothing collectible"}
 	}
-	return h.collect(victims)
+	return h.collect(victims, gc.TriggerHeapFull)
 }
 
 // chooseVictims picks the condemned set for a heap-full collection.
@@ -168,6 +169,9 @@ func (h *Heap) flipBelts() {
 			}
 		}
 	}
+	if h.hooks.Flip != nil {
+		h.hooks.Flip(h.allocBelt, h.rems.TotalEntries())
+	}
 }
 
 // pollRemsetTrigger implements the remset trigger (§3.3.3): when the
@@ -193,7 +197,7 @@ func (h *Heap) pollRemsetTrigger() (bool, error) {
 				victims = append(victims, lower.incrs...)
 			}
 			victims = append(victims, old)
-			if err := h.collect(victims); err != nil {
+			if err := h.collect(victims, gc.TriggerRemset); err != nil {
 				return true, err
 			}
 			return true, nil
@@ -217,11 +221,11 @@ func (h *Heap) Collect(full bool) error {
 		}
 		// An empty condemned set is still a valid full collection when
 		// large objects exist: the trace marks and the sweep reclaims.
-		return h.collect(victims)
+		return h.collect(victims, gc.TriggerForcedFull)
 	}
 	victims := h.chooseVictims()
 	if len(victims) == 0 {
 		return nil // nothing collectible: a forced collection is a no-op
 	}
-	return h.collect(victims)
+	return h.collect(victims, gc.TriggerForced)
 }

@@ -62,6 +62,7 @@ func (h *Heap) AllocPretenured(t *heap.TypeDesc, length int) (heap.Addr, error) 
 			return heap.Nil, err
 		}
 	}
+	h.noteOOM(size)
 	return heap.Nil, &gc.OOMError{Requested: size, HeapBytes: h.cfg.HeapBytes,
 		Detail: fmt.Sprintf("%s: pretenured allocation found no space", h.cfg.Name)}
 }

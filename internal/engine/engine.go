@@ -109,6 +109,12 @@ type Config struct {
 	Timeout time.Duration
 	// Progress, if non-nil, receives one line per job completion.
 	Progress func(string)
+	// OnRecord, if non-nil, receives every record as it settles — freshly
+	// executed AND resumed from the checkpoint — so observers (e.g. live
+	// telemetry aggregation) see the complete record stream regardless of
+	// how much of it came from a resume. It is called concurrently from
+	// worker goroutines and must be safe for concurrent use.
+	OnRecord func(Record)
 }
 
 // Engine executes batches of jobs. It may be shared across successive Run
@@ -245,6 +251,9 @@ func (e *Engine) Run(jobs []Job) ([]Record, error) {
 					rec.Resumed = true
 					records[i] = rec
 					e.rep.observe(rec)
+					if e.cfg.OnRecord != nil {
+						e.cfg.OnRecord(rec)
+					}
 					continue
 				}
 				rec := e.execute(j)
@@ -253,6 +262,9 @@ func (e *Engine) Run(jobs []Job) ([]Record, error) {
 				}
 				records[i] = rec
 				e.rep.observe(rec)
+				if e.cfg.OnRecord != nil {
+					e.cfg.OnRecord(rec)
+				}
 			}
 		}()
 	}

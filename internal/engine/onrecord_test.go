@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestOnRecordFreshAndResumed checks the observer callback fires once per
+// job both when jobs execute and when they are satisfied from a
+// checkpoint, so telemetry aggregation sees the complete record stream
+// either way.
+func TestOnRecordFreshAndResumed(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "run.jsonl")
+	jobs := []Job{
+		{Key: Key{Experiment: "t", Collector: "a"}, Run: func() (any, Outcome, error) { return 1, OK, nil }},
+		{Key: Key{Experiment: "t", Collector: "b"}, Run: func() (any, Outcome, error) { return 2, OOM, nil }},
+		{Key: Key{Experiment: "t", Collector: "c"}, Run: func() (any, Outcome, error) { panic("boom") }},
+	}
+
+	collect := func(resume bool) map[string]Record {
+		var mu sync.Mutex
+		got := map[string]Record{}
+		e := New(Config{
+			Workers:    2,
+			Checkpoint: ckpt,
+			Resume:     resume,
+			OnRecord: func(rec Record) {
+				mu.Lock()
+				got[rec.Key.String()] = rec
+				mu.Unlock()
+			},
+		})
+		defer e.Close()
+		if _, err := e.Run(jobs); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+
+	fresh := collect(false)
+	if len(fresh) != 3 {
+		t.Fatalf("fresh run observed %d records, want 3", len(fresh))
+	}
+	for k, rec := range fresh {
+		if rec.Resumed {
+			t.Errorf("%s: fresh record marked resumed", k)
+		}
+	}
+
+	resumed := collect(true)
+	if len(resumed) != 3 {
+		t.Fatalf("resumed run observed %d records, want 3", len(resumed))
+	}
+	for k, rec := range resumed {
+		switch rec.Outcome {
+		case OK, OOM:
+			if !rec.Resumed {
+				t.Errorf("%s: completed record not satisfied from checkpoint", k)
+			}
+			if len(rec.Payload) == 0 {
+				t.Errorf("%s: resumed record lost its payload", k)
+			}
+		case Panic:
+			if rec.Resumed {
+				t.Errorf("%s: failed record must re-execute on resume", k)
+			}
+		default:
+			t.Errorf("%s: unexpected outcome %s", k, rec.Outcome)
+		}
+	}
+}

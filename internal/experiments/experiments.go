@@ -47,6 +47,10 @@ type Opts struct {
 	Resume bool
 	// Timeout is a per-measurement wall-clock budget; 0 means none.
 	Timeout time.Duration
+	// OnRecord, if non-nil, receives every engine record (fresh and
+	// resumed) as it settles; called concurrently from workers. Used by
+	// cmd/experiments to aggregate telemetry live.
+	OnRecord func(engine.Record)
 }
 
 // Suite runs experiments with shared minimum-heap and result caches.
@@ -103,6 +107,7 @@ func New(opts Opts) *Suite {
 			Resume:     opts.Resume,
 			Timeout:    opts.Timeout,
 			Progress:   opts.Progress,
+			OnRecord:   opts.OnRecord,
 		}),
 	}
 }
@@ -260,7 +265,7 @@ func (s *Suite) runMany(specs []runSpec) ([]*harness.Result, error) {
 	results := make([]*harness.Result, len(specs))
 
 	var hspecs []harness.RunSpec
-	var hslots []int          // spec index per hspec
+	var hslots []int           // spec index per hspec
 	var hentries []*cacheEntry // cache slot per hspec (nil when uncached)
 	type waiter struct {
 		idx   int

@@ -93,18 +93,6 @@ type Collector interface {
 // (from, to). The vm validator uses it to keep its mirror map current.
 type MovedFunc func(from, to heap.Addr)
 
-// Hooks are optional collector callbacks, used by the validator and by
-// the trace recorder. All fields may be nil.
-type Hooks struct {
-	// PreGC runs after the collector has decided to collect, before any
-	// copying.
-	PreGC func()
-	// PostGC runs after a collection completes.
-	PostGC func()
-	// Moved runs for every object copied during a collection.
-	Moved MovedFunc
-}
-
 // Hookable is implemented by collectors that support Hooks.
 type Hookable interface {
 	SetHooks(Hooks)

@@ -1,0 +1,63 @@
+package harness
+
+import (
+	"fmt"
+
+	"beltway/internal/stats"
+	"beltway/internal/telemetry"
+)
+
+// FmtMs formats cost units as nominal milliseconds.
+func FmtMs(v float64) string {
+	return fmt.Sprintf("%.2f", v/stats.CyclesPerSecond*1e3)
+}
+
+// ResultsTable renders per-run measurements with pause-percentile
+// columns (p50/p95/p99/max, in nominal milliseconds). Percentiles come
+// from the telemetry pause histogram when the run carried one, falling
+// back to the exact pause list otherwise — so the table works with or
+// without Env.Telemetry.
+func ResultsTable(results []*Result) Table {
+	t := Table{Headers: []string{
+		"collector", "benchmark", "heap(MB)", "total(s)", "gc(s)", "gc%", "gcs",
+		"p50(ms)", "p95(ms)", "p99(ms)", "max(ms)",
+	}}
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		if r.Failure != "" {
+			t.AddRow(r.Collector, r.Benchmark, FmtMB(r.HeapBytes),
+				"-", "-", "-", "-", "-", "-", "-", "-")
+			continue
+		}
+		p50, p95, p99, max := pauseQuantiles(r)
+		row := []string{
+			r.Collector, r.Benchmark, FmtMB(r.HeapBytes),
+			FmtSec(r.TotalTime), FmtSec(r.GCTime),
+			fmt.Sprintf("%.1f", 100*r.GCFraction()),
+			fmt.Sprintf("%d", r.Collections),
+			FmtMs(p50), FmtMs(p95), FmtMs(p99), FmtMs(max),
+		}
+		if r.OOM {
+			row[0] += " (OOM)"
+		} else if r.Aborted {
+			row[0] += " (aborted)"
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// pauseQuantiles returns (p50, p95, p99, max) pause costs for a result,
+// preferring the telemetry histogram.
+func pauseQuantiles(r *Result) (p50, p95, p99, max float64) {
+	if r.Telemetry != nil && r.Telemetry.Metrics != nil {
+		if _, ok := r.Telemetry.Metrics.Histograms[telemetry.MetricPauseCost]; ok {
+			return r.Telemetry.PauseQuantile(0.5), r.Telemetry.PauseQuantile(0.95),
+				r.Telemetry.PauseQuantile(0.99), r.Telemetry.PauseQuantile(1)
+		}
+	}
+	ps := stats.SummarizePauses(r.Pauses)
+	return ps.Median, ps.P95, ps.P99, ps.Max
+}

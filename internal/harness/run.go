@@ -16,6 +16,7 @@ import (
 	"beltway/internal/heap"
 	"beltway/internal/mmu"
 	"beltway/internal/stats"
+	"beltway/internal/telemetry"
 	"beltway/internal/workload"
 )
 
@@ -31,6 +32,11 @@ type Env struct {
 	// Result.Aborted set. This is the deterministic counterpart of a
 	// wall-clock timeout: it actually stops the simulated run.
 	CostBudget float64
+	// Telemetry attaches a telemetry.Run (flight recorder + metrics) to
+	// every run and returns its snapshot in Result.Telemetry. Telemetry
+	// observes the clock without advancing it, so enabling it changes no
+	// measurement.
+	Telemetry bool `json:",omitempty"`
 }
 
 // DefaultEnv mirrors the paper's testbed at scale 1: see EnvForScale.
@@ -86,6 +92,9 @@ type Result struct {
 	// observed by the engine instead of a measurement. All metric fields
 	// are zero; aggregation treats the point like an OOM.
 	Failure string `json:",omitempty"`
+	// Telemetry is the run's flight-recorder events and metric snapshot,
+	// present only when Env.Telemetry was set.
+	Telemetry *telemetry.RunSnapshot `json:",omitempty"`
 }
 
 // Incomplete reports whether the run produced no valid end-to-end
@@ -134,8 +143,13 @@ func RunOne(cfg core.Config, bench *workload.Benchmark, env Env) (res *Result, e
 		return nil, fmt.Errorf("harness: %s on %s: %w", cfg.Name, bench.Name, herr)
 	}
 	h.Clock().Budget = env.CostBudget
+	var tele *telemetry.Run
+	if env.Telemetry {
+		tele = telemetry.NewRun(h.Clock())
+		h.SetHooks(tele.Hooks())
+	}
 	snapshot := func() *Result {
-		return &Result{
+		res := &Result{
 			Collector:   cfg.Name,
 			Benchmark:   bench.Name,
 			HeapBytes:   cfg.HeapBytes,
@@ -146,6 +160,10 @@ func RunOne(cfg core.Config, bench *workload.Benchmark, env Env) (res *Result, e
 			Counters:    h.Clock().Counters,
 			Collections: h.Collections(),
 		}
+		if tele != nil {
+			res.Telemetry = tele.Snapshot()
+		}
+		return res
 	}
 	defer func() {
 		if r := recover(); r != nil {

@@ -18,11 +18,13 @@ type RunSpec struct {
 	Env   Env
 }
 
-// runPayload is the checkpoint payload for one run: the full Result (so a
-// resumed run reproduces tables byte-identically, MMU curves included)
-// plus a pause-distribution summary for log consumers that do not want to
-// re-derive it from the raw pause list.
-type runPayload struct {
+// RunPayload is the checkpoint payload for one run: the full Result (so a
+// resumed run reproduces tables byte-identically, MMU curves included,
+// and telemetry snapshots when enabled) plus a pause-distribution summary
+// for log consumers that do not want to re-derive it from the raw pause
+// list. Exported so engine.Config.OnRecord consumers (live telemetry
+// aggregation in cmd/experiments) can decode checkpoint records.
+type RunPayload struct {
 	Result     *Result          `json:"result"`
 	PauseStats stats.PauseStats `json:"pause_stats"`
 }
@@ -70,7 +72,7 @@ func (x *Executor) RunAll(specs []RunSpec) ([]*Result, []engine.Record, error) {
 			case res.Aborted:
 				out = engine.Budget
 			}
-			return runPayload{Result: res, PauseStats: stats.SummarizePauses(res.Pauses)}, out, nil
+			return RunPayload{Result: res, PauseStats: stats.SummarizePauses(res.Pauses)}, out, nil
 		}}
 	}
 	recs, err := x.eng.Run(jobs)
@@ -80,7 +82,7 @@ func (x *Executor) RunAll(specs []RunSpec) ([]*Result, []engine.Record, error) {
 	results := make([]*Result, len(specs))
 	for i, rec := range recs {
 		if rec.Outcome.Completed() && len(rec.Payload) > 0 {
-			var p runPayload
+			var p RunPayload
 			if uerr := json.Unmarshal(rec.Payload, &p); uerr == nil && p.Result != nil {
 				results[i] = p.Result
 			} else {

@@ -1,0 +1,250 @@
+package harness
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"beltway/internal/engine"
+	"beltway/internal/telemetry"
+	"beltway/internal/workload"
+)
+
+// checkEventStream verifies one run's flight-recorder stream is coherent:
+// sequence numbers are consecutive (no interleaving from another run's
+// recorder) and every collection's begin/end events pair up in order.
+func checkEventStream(t *testing.T, label string, s *telemetry.RunSnapshot) {
+	t.Helper()
+	if s == nil {
+		t.Fatalf("%s: no telemetry snapshot", label)
+	}
+	if len(s.Events) == 0 {
+		t.Fatalf("%s: empty event stream", label)
+	}
+	wantFirst := s.DroppedEvents + 1
+	if s.Events[0].Seq != wantFirst {
+		t.Errorf("%s: first seq %d, want %d", label, s.Events[0].Seq, wantFirst)
+	}
+	var openGC uint64
+	for i, e := range s.Events {
+		if e.Seq != wantFirst+uint64(i) {
+			t.Fatalf("%s: seq %d at position %d, want %d (interleaved streams?)",
+				label, e.Seq, i, wantFirst+uint64(i))
+		}
+		switch e.Kind {
+		case telemetry.EvGCBegin:
+			if openGC != 0 {
+				t.Errorf("%s: gc %d began before gc %d ended", label, e.GC, openGC)
+			}
+			openGC = e.GC
+		case telemetry.EvGCEnd:
+			// The stream head may hold an end whose begin was overwritten.
+			if openGC != 0 && e.GC != openGC {
+				t.Errorf("%s: gc-end for %d inside gc %d", label, e.GC, openGC)
+			}
+			openGC = 0
+		}
+	}
+}
+
+// TestRunOneTelemetry checks RunOne's telemetry attachment: the stream is
+// coherent, the metrics agree with the run's counters, and the
+// measurement itself is bit-identical with telemetry on or off.
+func TestRunOneTelemetry(t *testing.T) {
+	env := testEnv()
+	cfg := xx100Func(25, env)(1 << 20)
+	b := workload.Get("jess")
+
+	plain, err := RunOne(cfg, b, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Telemetry = true
+	res, err := RunOne(cfg, b, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Telemetry != nil {
+		t.Error("telemetry snapshot present without Env.Telemetry")
+	}
+	checkEventStream(t, "jess", res.Telemetry)
+
+	// Observing must not perturb: the measurement is the same timeline.
+	if res.TotalTime != plain.TotalTime || res.GCTime != plain.GCTime ||
+		res.Counters != plain.Counters || len(res.Pauses) != len(plain.Pauses) {
+		t.Errorf("telemetry changed the measurement:\nwith:    %+v\nwithout: %+v",
+			res.Counters, plain.Counters)
+	}
+
+	m := res.Telemetry.Metrics
+	if got := m.Counters[telemetry.MetricCollections]; got != res.Collections {
+		t.Errorf("collections metric %d, want %d", got, res.Collections)
+	}
+	if got := m.Counters[telemetry.MetricFullCollections]; got != res.Counters.FullCollections {
+		t.Errorf("full collections metric %d, want %d", got, res.Counters.FullCollections)
+	}
+	if got := m.Counters[telemetry.MetricBarrierSlow]; got != res.Counters.BarrierSlowPaths {
+		t.Errorf("barrier slow metric %d, want %d", got, res.Counters.BarrierSlowPaths)
+	}
+	ph := m.Histograms[telemetry.MetricPauseCost]
+	if ph == nil || ph.Count != res.Collections {
+		t.Fatalf("pause histogram %+v, want %d observations", ph, res.Collections)
+	}
+	if ph.Max != res.MaxPause {
+		t.Errorf("pause histogram max %v, want %v", ph.Max, res.MaxPause)
+	}
+}
+
+// TestGenerationalTelemetry checks the generational baselines (Appel et
+// al. are presets of the same engine) emit the same event stream and
+// metrics as the Beltway configurations.
+func TestGenerationalTelemetry(t *testing.T) {
+	env := testEnv()
+	env.Telemetry = true
+	res, err := RunOne(appelFunc(env)(1<<20), workload.Get("db"), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Collections == 0 {
+		t.Fatal("run performed no collections; pick a smaller heap")
+	}
+	checkEventStream(t, "appel", res.Telemetry)
+	var begins, ends, belts uint64
+	for _, e := range res.Telemetry.Events {
+		switch e.Kind {
+		case telemetry.EvGCBegin:
+			begins++
+		case telemetry.EvGCEnd:
+			ends++
+		case telemetry.EvBelt:
+			belts++
+		}
+	}
+	if ends == 0 || belts == 0 {
+		t.Errorf("generational run emitted %d gc-ends, %d belt events", ends, belts)
+	}
+	if res.Telemetry.DroppedEvents == 0 && begins != ends {
+		t.Errorf("unpaired collections: %d begins, %d ends", begins, ends)
+	}
+	if got := res.Telemetry.Metrics.Counters[telemetry.MetricCollections]; got != res.Collections {
+		t.Errorf("collections metric %d, want %d", got, res.Collections)
+	}
+}
+
+// telemetrySpecs is the small cross-product used by the parallel test.
+func telemetrySpecs(env Env) []RunSpec {
+	var specs []RunSpec
+	for _, bn := range []string{"jess", "db"} {
+		b := workload.Get(bn)
+		for _, heap := range []int{1 << 20, 3 << 19} {
+			specs = append(specs,
+				RunSpec{
+					Key:   engine.Key{Experiment: "tele", Collector: "Appel", Benchmark: bn, HeapBytes: heap},
+					Make:  appelFunc(env),
+					Bench: b, Env: env,
+				},
+				RunSpec{
+					Key:   engine.Key{Experiment: "tele", Collector: "Beltway 25.25.100", Benchmark: bn, HeapBytes: heap},
+					Make:  xx100Func(25, env),
+					Bench: b, Env: env,
+				})
+		}
+	}
+	return specs
+}
+
+// TestParallelTelemetryMatchesSerial runs the same telemetry-enabled
+// sweep through the engine with four workers and with one, and requires
+// (a) every run's event stream to be internally coherent — per-run
+// recorders must not observe each other's collections — and (b) the
+// merged aggregates to be identical, which only holds if each stream went
+// to exactly one recorder and merging is order-independent. Run under
+// -race this also exercises the concurrent OnRecord path.
+func TestParallelTelemetryMatchesSerial(t *testing.T) {
+	env := testEnv()
+	env.Telemetry = true
+
+	sweep := func(workers int) ([]*Result, map[string]*telemetry.RegistrySnapshot) {
+		t.Helper()
+		agg := telemetry.NewAggregator()
+		x := NewExecutor(engine.Config{
+			Workers: workers,
+			OnRecord: func(rec engine.Record) {
+				if !rec.Outcome.Completed() || len(rec.Payload) == 0 {
+					return
+				}
+				var p RunPayload
+				if err := json.Unmarshal(rec.Payload, &p); err != nil || p.Result == nil || p.Result.Telemetry == nil {
+					return
+				}
+				agg.Add(p.Result.Collector, p.Result.Telemetry)
+			},
+		})
+		defer x.Close()
+		results, _, err := x.RunAll(telemetrySpecs(env))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results, agg.Snapshot()
+	}
+
+	parRes, parAgg := sweep(4)
+	serRes, serAgg := sweep(1)
+
+	for i, r := range parRes {
+		if r.Failure != "" {
+			t.Fatalf("run %d failed: %s", i, r.Failure)
+		}
+		label := r.Collector + "/" + r.Benchmark
+		checkEventStream(t, label, r.Telemetry)
+		if !reflect.DeepEqual(r.Telemetry, serRes[i].Telemetry) {
+			t.Errorf("%s: parallel telemetry differs from serial", label)
+		}
+	}
+	if !reflect.DeepEqual(parAgg, serAgg) {
+		t.Errorf("parallel aggregate differs from serial:\npar: %+v\nser: %+v", parAgg, serAgg)
+	}
+	if len(parAgg) != 2 {
+		t.Errorf("aggregated %d collectors, want 2", len(parAgg))
+	}
+	for name, snap := range parAgg {
+		if snap.Counters[telemetry.MetricCollections] == 0 {
+			t.Errorf("%s: aggregate has no collections", name)
+		}
+		if snap.Histograms[telemetry.MetricPauseCost].Count == 0 {
+			t.Errorf("%s: aggregate has no pause observations", name)
+		}
+	}
+}
+
+// TestResultsTablePercentiles checks the results table renders pause
+// percentiles from telemetry when present and from the raw pause log
+// otherwise.
+func TestResultsTablePercentiles(t *testing.T) {
+	env := testEnv()
+	env.Telemetry = true
+	res, err := RunOne(xx100Func(25, env)(1<<20), workload.Get("jess"), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := ResultsTable([]*Result{res})
+	out := tbl.String()
+	for _, col := range []string{"p50(ms)", "p95(ms)", "p99(ms)", "max(ms)"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("results table missing column %q:\n%s", col, out)
+		}
+	}
+	// Without telemetry the table falls back to the exact pause log.
+	res.Telemetry = nil
+	tbl2 := ResultsTable([]*Result{res})
+	if tbl2.String() == "" {
+		t.Error("table without telemetry rendered empty")
+	}
+	// A failed run renders as dashes, not a panic.
+	fail := &Result{Collector: "X", Benchmark: "y", Failure: "panic: boom"}
+	failTbl := ResultsTable([]*Result{fail})
+	if !strings.Contains(failTbl.String(), "-") {
+		t.Error("failed run should render as dashes")
+	}
+}

@@ -11,6 +11,7 @@ type PauseStats struct {
 	Mean   float64
 	Median float64
 	P90    float64
+	P95    float64
 	P99    float64
 	Max    float64
 }
@@ -30,6 +31,7 @@ func SummarizePauses(pauses []Pause) PauseStats {
 	s.Mean = s.Total / float64(len(ds))
 	s.Median = quantile(ds, 0.5)
 	s.P90 = quantile(ds, 0.9)
+	s.P95 = quantile(ds, 0.95)
 	s.P99 = quantile(ds, 0.99)
 	s.Max = ds[len(ds)-1]
 	return s

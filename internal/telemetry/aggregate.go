@@ -1,0 +1,138 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// Aggregator merges RunSnapshots across runs, keyed by collector name.
+// Counters and histogram buckets add and gauges keep their maximum, so
+// the aggregate is independent of merge order — a parallel sweep and a
+// serial one produce identical aggregates. Safe for concurrent Add (the
+// engine commits results from worker goroutines).
+type Aggregator struct {
+	mu   sync.Mutex
+	by   map[string]*RegistrySnapshot
+	help map[string]string
+}
+
+// NewAggregator returns an empty aggregator. The standard Run metric
+// help strings are pre-registered for Prometheus HELP lines.
+func NewAggregator() *Aggregator {
+	return &Aggregator{
+		by: map[string]*RegistrySnapshot{},
+		help: map[string]string{
+			MetricCollections:     "collections performed",
+			MetricFullCollections: "collections condemning the whole occupied heap",
+			MetricPauseCost:       "stop-the-world pause cost per collection, in cost units",
+			MetricCopiedBytes:     "bytes evacuated per collection",
+			MetricRemsetEntries:   "remembered-set entries examined per collection",
+			MetricBarrierSlow:     "write-barrier slow paths taken",
+			MetricCondemnedBytes:  "bytes condemned across all collections",
+			MetricFlips:           "older-first belt flips",
+			MetricOOMs:            "out-of-memory events",
+			MetricOccupiedBytes:   "collected-space occupancy after the last collection",
+		},
+	}
+}
+
+// Add merges snapshot s (from one run of the named collector
+// configuration) into the aggregate. Nil snapshots are ignored.
+func (a *Aggregator) Add(collector string, s *RunSnapshot) {
+	if s == nil || s.Metrics == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	cur, ok := a.by[collector]
+	if !ok {
+		cur = &RegistrySnapshot{}
+		a.by[collector] = cur
+	}
+	cur.Merge(s.Metrics)
+}
+
+// Collectors returns the collector names seen so far, sorted.
+func (a *Aggregator) Collectors() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	names := make([]string, 0, len(a.by))
+	for k := range a.by {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot returns a deep copy of the aggregate per collector.
+func (a *Aggregator) Snapshot() map[string]*RegistrySnapshot {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]*RegistrySnapshot, len(a.by))
+	for k, v := range a.by {
+		cp := &RegistrySnapshot{}
+		cp.Merge(v)
+		out[k] = cp
+	}
+	return out
+}
+
+// WritePrometheus renders the aggregate in Prometheus text exposition
+// format, one sample set per collector with a collector="..." label.
+func (a *Aggregator) WritePrometheus(w io.Writer) error {
+	snap := a.Snapshot()
+	names := make([]string, 0, len(snap))
+	for k := range snap {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := writePrometheus(w, snap[name], `collector="`+promEscape(name)+`"`, a.help); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the aggregate as a JSON object keyed by collector.
+func (a *Aggregator) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a.Snapshot())
+}
+
+// promEscape escapes a label value per the exposition format.
+func promEscape(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\', '"':
+			out = append(out, '\\', c)
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, c)
+		}
+	}
+	return string(out)
+}
+
+// Handler serves the aggregate over HTTP: Prometheus text at /metrics
+// (and /), JSON at /metrics.json.
+func (a *Aggregator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = a.WriteJSON(w)
+	})
+	serveText := func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = a.WritePrometheus(w)
+	}
+	mux.HandleFunc("/metrics", serveText)
+	mux.HandleFunc("/", serveText)
+	return mux
+}

@@ -1,0 +1,16 @@
+package telemetry_test
+
+import (
+	"testing"
+
+	"beltway/internal/bench"
+)
+
+// Benchmark bodies live in beltway/internal/bench so `go test -bench`
+// and the cmd/bench regression harness measure the same code.
+
+func BenchmarkEmitEvent(b *testing.B)        { bench.TelemetryEmitEvent(b) }
+func BenchmarkHistogramObserve(b *testing.B) { bench.TelemetryHistogramObserve(b) }
+func BenchmarkCounterAdd(b *testing.B)       { bench.TelemetryCounterAdd(b) }
+func BenchmarkGCCycleHooks(b *testing.B)     { bench.TelemetryGCCycleHooks(b) }
+func BenchmarkCollection(b *testing.B)       { bench.TelemetryCollection(b) }

@@ -1,0 +1,153 @@
+// Package telemetry is the observability subsystem: a fixed-capacity
+// allocation-free flight recorder of typed GC events, a metrics registry
+// (counters, gauges, log-bucketed histograms) with Prometheus and JSON
+// export, and renderers (Chrome trace_event JSON, ASCII heap timeline).
+//
+// Telemetry observes the deterministic cost timeline but never advances
+// it: hook emission reads stats.Clock.Now() and performs no clock work,
+// so enabling telemetry cannot change any experiment's results.
+package telemetry
+
+import "fmt"
+
+// EventKind discriminates flight-recorder events. The A..D payload slots
+// of Event are interpreted per kind; see the constants below.
+type EventKind uint8
+
+const (
+	// EvNone is the zero value (an empty ring slot).
+	EvNone EventKind = iota
+
+	// EvGCBegin: a collection started and its condemned set is fixed.
+	//   A = trigger kind (gc.TriggerKind) | full<<8 (1 when the condemned
+	//       set spans the whole occupied heap)
+	//   B = condemned increments
+	//   C = condemned bytes
+	//   D = occupied bytes at collection start
+	EvGCBegin
+
+	// EvGCEnd: a collection completed. Dur holds the pause length in cost
+	// units.
+	//   A = bytes copied
+	//   B = objects copied
+	//   C = remembered-set entries examined
+	//   D = barrier slow paths taken since the previous collection
+	EvGCEnd
+
+	// EvCondemned: one condemned increment (emitted after EvGCBegin).
+	//   A = belt index
+	//   B = increment seq | (train+1)<<32 (so 0 in the high word means
+	//       "not a MOS car")
+	//   C = increment bytes
+	//   D = increment frames
+	EvCondemned
+
+	// EvBelt: one belt's occupancy after a collection (emitted after
+	// EvGCEnd, one event per belt).
+	//   A = belt index
+	//   B = increments on the belt
+	//   C = belt bytes
+	//   D = belt frames
+	EvBelt
+
+	// EvFlip: an older-first configuration swapped its belts.
+	//   A = new allocation belt index
+	//   B = remembered-set entries at the flip
+	EvFlip
+
+	// EvOOM: the collector gave up on an allocation or exhausted its copy
+	// reserve (A == 0 in the latter case).
+	//   A = requested bytes
+	//   B = configured heap bytes
+	EvOOM
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvGCBegin:
+		return "gc-begin"
+	case EvGCEnd:
+		return "gc-end"
+	case EvCondemned:
+		return "condemned"
+	case EvBelt:
+		return "belt"
+	case EvFlip:
+		return "flip"
+	case EvOOM:
+		return "oom"
+	default:
+		return "none"
+	}
+}
+
+// Event is one flight-recorder entry. Events are fixed-size values so the
+// ring buffer never allocates; the A..D payload slots are typed by Kind
+// (see the EventKind constants).
+type Event struct {
+	Kind EventKind `json:"k"`
+	// Seq is the 1-based emission sequence number within the run.
+	Seq uint64 `json:"seq"`
+	// Time is the cost-model clock at emission.
+	Time float64 `json:"t"`
+	// Dur is the pause duration in cost units (EvGCEnd only).
+	Dur float64 `json:"dur,omitempty"`
+	// GC is the 1-based collection ordinal the event belongs to (0 for
+	// events outside any collection, e.g. a flip or a mutator OOM).
+	GC uint64 `json:"gc,omitempty"`
+
+	A uint64 `json:"a,omitempty"`
+	B uint64 `json:"b,omitempty"`
+	C uint64 `json:"c,omitempty"`
+	D uint64 `json:"d,omitempty"`
+}
+
+// String renders the event for diagnostic dumps (validator failures).
+func (e Event) String() string {
+	switch e.Kind {
+	case EvGCBegin:
+		full := ""
+		if e.A>>8 != 0 {
+			full = " full"
+		}
+		return fmt.Sprintf("#%d t=%.0f gc%d begin trigger=%s%s condemned=%d incrs/%dB occupied=%dB",
+			e.Seq, e.Time, e.GC, triggerName(uint8(e.A)), full, e.B, e.C, e.D)
+	case EvGCEnd:
+		return fmt.Sprintf("#%d t=%.0f gc%d end dur=%.0f copied=%dB/%d objs remset=%d slow=%d",
+			e.Seq, e.Time, e.GC, e.Dur, e.A, e.B, e.C, e.D)
+	case EvCondemned:
+		train := ""
+		if hi := e.B >> 32; hi != 0 {
+			train = fmt.Sprintf(" train%d", hi-1)
+		}
+		return fmt.Sprintf("#%d t=%.0f gc%d condemn belt%d/incr%d%s %dB/%d frames",
+			e.Seq, e.Time, e.GC, e.A, uint32(e.B), train, e.C, e.D)
+	case EvBelt:
+		return fmt.Sprintf("#%d t=%.0f gc%d belt%d: %d incrs %dB/%d frames",
+			e.Seq, e.Time, e.GC, e.A, e.B, e.C, e.D)
+	case EvFlip:
+		return fmt.Sprintf("#%d t=%.0f flip alloc-belt=%d remset=%d", e.Seq, e.Time, e.A, e.B)
+	case EvOOM:
+		return fmt.Sprintf("#%d t=%.0f OOM requested=%d heap=%d", e.Seq, e.Time, e.A, e.B)
+	default:
+		return fmt.Sprintf("#%d t=%.0f %s", e.Seq, e.Time, e.Kind)
+	}
+}
+
+// triggerName mirrors gc.TriggerKind.String without importing gc (the gc
+// package is kept free of telemetry knowledge; telemetry only reads the
+// numeric kind it stored in the payload).
+func triggerName(t uint8) string {
+	switch t {
+	case 1:
+		return "heap-full"
+	case 2:
+		return "remset"
+	case 3:
+		return "forced"
+	case 4:
+		return "forced-full"
+	default:
+		return "unknown"
+	}
+}

@@ -1,0 +1,419 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// histBuckets is the number of log-2 histogram buckets: bucket i counts
+// observations <= 2^i for i < histBuckets-1; the last bucket is the
+// +Inf overflow. 2^46 cost units is ~25 hours of simulated time at
+// 733 MHz, far beyond any pause, so the overflow stays empty in practice.
+const histBuckets = 48
+
+// Counter is a monotonically increasing metric. Add is atomic and
+// allocation-free.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a last-written float metric. Set is atomic and
+// allocation-free.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the last stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a log-2-bucketed distribution (powers of two make the
+// bucket index one bits.Len64, so Observe is branch-light, atomic, and
+// allocation-free). It tracks count, sum, and exact max alongside the
+// buckets, and derives quantiles by log-linear interpolation.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+	maxBits atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// bucketIndex returns the bucket for observation v: the smallest i with
+// v <= 2^i, clamped to the overflow bucket.
+func bucketIndex(v float64) int {
+	if v <= 1 {
+		return 0
+	}
+	u := uint64(math.Ceil(v))
+	idx := bits.Len64(u - 1)
+	if idx >= histBuckets-1 {
+		return histBuckets - 1
+	}
+	return idx
+}
+
+// bucketBound returns bucket i's upper bound (+Inf for the overflow).
+func bucketBound(i int) float64 {
+	if i >= histBuckets-1 {
+		return math.Inf(1)
+	}
+	return float64(uint64(1) << uint(i))
+}
+
+// Observe records v. Negative observations are clamped to zero.
+func (h *Histogram) Observe(v float64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nv) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if math.Float64frombits(old) >= v {
+			break
+		}
+		if h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() float64 { return math.Float64frombits(h.maxBits.Load()) }
+
+// Quantile returns the q-quantile (0 <= q <= 1) estimated from the
+// buckets by log-linear interpolation; the max is exact.
+func (h *Histogram) Quantile(q float64) float64 { return h.Snapshot().Quantile(q) }
+
+// Snapshot captures the histogram as plain data.
+func (h *Histogram) Snapshot() *HistogramSnapshot {
+	s := &HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.Sum(),
+		Max:   h.Max(),
+	}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, BucketCount{Bucket: i, Count: n})
+		}
+	}
+	return s
+}
+
+// BucketCount is one non-empty histogram bucket: Bucket is the log-2
+// bucket index (upper bound 2^Bucket; the last index is +Inf).
+type BucketCount struct {
+	Bucket int    `json:"b"`
+	Count  uint64 `json:"n"`
+}
+
+// HistogramSnapshot is a JSON-able, mergeable histogram capture. Buckets
+// are sparse (non-empty only) and non-cumulative, ascending by index.
+type HistogramSnapshot struct {
+	Count   uint64        `json:"count"`
+	Sum     float64       `json:"sum"`
+	Max     float64       `json:"max"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// Merge folds o into s (bucket-wise addition; max of maxes). Merging is
+// commutative and associative, so aggregates are order-independent.
+func (s *HistogramSnapshot) Merge(o *HistogramSnapshot) {
+	s.Count += o.Count
+	s.Sum += o.Sum
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+	counts := make(map[int]uint64, len(s.Buckets)+len(o.Buckets))
+	for _, b := range s.Buckets {
+		counts[b.Bucket] += b.Count
+	}
+	for _, b := range o.Buckets {
+		counts[b.Bucket] += b.Count
+	}
+	s.Buckets = s.Buckets[:0]
+	for b, n := range counts {
+		s.Buckets = append(s.Buckets, BucketCount{Bucket: b, Count: n})
+	}
+	sort.Slice(s.Buckets, func(i, j int) bool { return s.Buckets[i].Bucket < s.Buckets[j].Bucket })
+}
+
+// Quantile estimates the q-quantile from the snapshot's buckets.
+func (s *HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return s.Max
+	}
+	if q < 0 {
+		q = 0
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for _, b := range s.Buckets {
+		next := cum + float64(b.Count)
+		if next >= rank {
+			hi := bucketBound(b.Bucket)
+			if math.IsInf(hi, 1) {
+				return s.Max
+			}
+			lo := 0.0
+			if b.Bucket > 0 {
+				lo = bucketBound(b.Bucket - 1)
+			}
+			frac := 0.0
+			if b.Count > 0 {
+				frac = (rank - cum) / float64(b.Count)
+			}
+			v := lo + frac*(hi-lo)
+			if v > s.Max && s.Max > 0 {
+				v = s.Max
+			}
+			return v
+		}
+		cum = next
+	}
+	return s.Max
+}
+
+// metric is the registry's bookkeeping for one named metric.
+type metric struct {
+	name, help string
+	counter    *Counter
+	gauge      *Gauge
+	hist       *Histogram
+}
+
+// Registry holds a run's named metrics. Metric handles are created up
+// front (registration may allocate); updates through the handles are
+// allocation-free. Registration order is preserved in exports.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+func (r *Registry) add(m *metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range r.metrics {
+		if e.name == m.name {
+			panic("telemetry: duplicate metric " + m.name)
+		}
+	}
+	r.metrics = append(r.metrics, m)
+}
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{}
+	r.add(&metric{name: name, help: help, counter: c})
+	return c
+}
+
+// NewGauge registers and returns a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.add(&metric{name: name, help: help, gauge: g})
+	return g
+}
+
+// NewHistogram registers and returns a histogram.
+func (r *Registry) NewHistogram(name, help string) *Histogram {
+	h := &Histogram{}
+	r.add(&metric{name: name, help: help, hist: h})
+	return h
+}
+
+// Snapshot captures every metric as plain, JSON-able data.
+func (r *Registry) Snapshot() *RegistrySnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &RegistrySnapshot{}
+	for _, m := range r.metrics {
+		switch {
+		case m.counter != nil:
+			if s.Counters == nil {
+				s.Counters = map[string]uint64{}
+			}
+			s.Counters[m.name] = m.counter.Value()
+		case m.gauge != nil:
+			if s.Gauges == nil {
+				s.Gauges = map[string]float64{}
+			}
+			s.Gauges[m.name] = m.gauge.Value()
+		case m.hist != nil:
+			if s.Histograms == nil {
+				s.Histograms = map[string]*HistogramSnapshot{}
+			}
+			s.Histograms[m.name] = m.hist.Snapshot()
+		}
+	}
+	return s
+}
+
+// WritePrometheus writes the registry in Prometheus text exposition
+// format. labels is an optional `name="value"` list (without braces)
+// attached to every sample, e.g. `collector="BSS"`.
+func (r *Registry) WritePrometheus(w io.Writer, labels string) error {
+	return writePrometheus(w, r.Snapshot(), labels, helpFor(r))
+}
+
+func helpFor(r *Registry) map[string]string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := make(map[string]string, len(r.metrics))
+	for _, m := range r.metrics {
+		h[m.name] = m.help
+	}
+	return h
+}
+
+// RegistrySnapshot is the JSON form of a registry: plain maps, mergeable
+// with Merge. Go's encoding/json sorts map keys, so the encoding is
+// deterministic.
+type RegistrySnapshot struct {
+	Counters   map[string]uint64             `json:"counters,omitempty"`
+	Gauges     map[string]float64            `json:"gauges,omitempty"`
+	Histograms map[string]*HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Merge folds o into s: counters and histograms add; gauges keep the
+// maximum (the only commutative choice, so merge order never matters).
+func (s *RegistrySnapshot) Merge(o *RegistrySnapshot) {
+	for k, v := range o.Counters {
+		if s.Counters == nil {
+			s.Counters = map[string]uint64{}
+		}
+		s.Counters[k] += v
+	}
+	for k, v := range o.Gauges {
+		if s.Gauges == nil {
+			s.Gauges = map[string]float64{}
+		}
+		if cur, ok := s.Gauges[k]; !ok || v > cur {
+			s.Gauges[k] = v
+		}
+	}
+	for k, v := range o.Histograms {
+		if s.Histograms == nil {
+			s.Histograms = map[string]*HistogramSnapshot{}
+		}
+		if cur, ok := s.Histograms[k]; ok {
+			cur.Merge(v)
+		} else {
+			cp := *v
+			cp.Buckets = append([]BucketCount(nil), v.Buckets...)
+			s.Histograms[k] = &cp
+		}
+	}
+}
+
+// writePrometheus renders one snapshot. Histograms emit cumulative
+// _bucket series (per the exposition format), then _sum and _count.
+func writePrometheus(w io.Writer, s *RegistrySnapshot, labels string, help map[string]string) error {
+	var names []string
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	for k := range s.Gauges {
+		names = append(names, k)
+	}
+	for k := range s.Histograms {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if h := help[name]; h != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, h); err != nil {
+				return err
+			}
+		}
+		var err error
+		switch {
+		case s.Counters != nil && hasKeyU(s.Counters, name):
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s%s %d\n", name, name, braced(labels), s.Counters[name])
+		case s.Gauges != nil && hasKeyF(s.Gauges, name):
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s%s %v\n", name, name, braced(labels), s.Gauges[name])
+		default:
+			err = writePromHistogram(w, name, labels, s.Histograms[name])
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func hasKeyU(m map[string]uint64, k string) bool  { _, ok := m[k]; return ok }
+func hasKeyF(m map[string]float64, k string) bool { _, ok := m[k]; return ok }
+
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+func withLE(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return "{" + labels + `,le="` + le + `"}`
+}
+
+func writePromHistogram(w io.Writer, name, labels string, h *HistogramSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	var cum uint64
+	for _, b := range h.Buckets {
+		cum += b.Count
+		le := "+Inf"
+		if bound := bucketBound(b.Bucket); !math.IsInf(bound, 1) {
+			le = fmt.Sprintf("%g", bound)
+		}
+		if le == "+Inf" {
+			continue // the explicit +Inf sample below carries the total
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLE(labels, le), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLE(labels, "+Inf"), h.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %v\n", name, braced(labels), h.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, braced(labels), h.Count)
+	return err
+}

@@ -1,0 +1,188 @@
+package telemetry
+
+import (
+	"beltway/internal/gc"
+	"beltway/internal/stats"
+)
+
+// Metric names emitted by every Run. Pause/copy/remset distributions are
+// histograms (log-2 buckets over cost units / bytes / entries); the rest
+// are counters plus one occupancy gauge.
+const (
+	MetricCollections     = "gc_collections_total"
+	MetricFullCollections = "gc_full_collections_total"
+	MetricPauseCost       = "gc_pause_cost_units"
+	MetricCopiedBytes     = "gc_copied_bytes"
+	MetricRemsetEntries   = "gc_remset_entries"
+	MetricBarrierSlow     = "gc_barrier_slow_paths_total"
+	MetricCondemnedBytes  = "gc_condemned_bytes_total"
+	MetricFlips           = "gc_belt_flips_total"
+	MetricOOMs            = "gc_oom_total"
+	MetricOccupiedBytes   = "heap_occupied_bytes"
+)
+
+// Run is one run's telemetry: a flight recorder and a metrics registry
+// fed by gc.Hooks. Attach it with collector.SetHooks(run.Hooks()) — or
+// merge its hooks with others via gc.Hooks.Merge. Hook emission is
+// allocation-free and never touches the clock (it only reads Now), so a
+// run with telemetry attached follows the exact same cost timeline as
+// one without.
+type Run struct {
+	clock *stats.Clock
+	rec   *FlightRecorder
+	reg   *Registry
+
+	gcOrdinal uint64 // collections seen by these hooks (1-based)
+
+	collections     *Counter
+	fullCollections *Counter
+	pauseHist       *Histogram
+	copiedHist      *Histogram
+	remsetHist      *Histogram
+	barrierSlow     *Counter
+	condemnedBytes  *Counter
+	flips           *Counter
+	ooms            *Counter
+	occupied        *Gauge
+}
+
+// NewRun builds a Run observing the given clock, with a
+// DefaultRecorderCap flight recorder and the standard metric set.
+func NewRun(clock *stats.Clock) *Run {
+	reg := NewRegistry()
+	return &Run{
+		clock:           clock,
+		rec:             NewFlightRecorder(0),
+		reg:             reg,
+		collections:     reg.NewCounter(MetricCollections, "collections performed"),
+		fullCollections: reg.NewCounter(MetricFullCollections, "collections condemning the whole occupied heap"),
+		pauseHist:       reg.NewHistogram(MetricPauseCost, "stop-the-world pause cost per collection, in cost units"),
+		copiedHist:      reg.NewHistogram(MetricCopiedBytes, "bytes evacuated per collection"),
+		remsetHist:      reg.NewHistogram(MetricRemsetEntries, "remembered-set entries examined per collection"),
+		barrierSlow:     reg.NewCounter(MetricBarrierSlow, "write-barrier slow paths taken"),
+		condemnedBytes:  reg.NewCounter(MetricCondemnedBytes, "bytes condemned across all collections"),
+		flips:           reg.NewCounter(MetricFlips, "older-first belt flips"),
+		ooms:            reg.NewCounter(MetricOOMs, "out-of-memory events"),
+		occupied:        reg.NewGauge(MetricOccupiedBytes, "collected-space occupancy after the last collection"),
+	}
+}
+
+// Recorder returns the run's flight recorder.
+func (r *Run) Recorder() *FlightRecorder { return r.rec }
+
+// Registry returns the run's metrics registry.
+func (r *Run) Registry() *Registry { return r.reg }
+
+// PauseHistogram returns the pause-cost histogram (for table rendering).
+func (r *Run) PauseHistogram() *Histogram { return r.pauseHist }
+
+// now reads the cost clock (0 when the run has no clock attached).
+func (r *Run) now() float64 {
+	if r.clock == nil {
+		return 0
+	}
+	return r.clock.Now()
+}
+
+// Hooks returns the gc.Hooks that feed this run. The returned closures
+// are built once here; invoking them performs no allocation.
+func (r *Run) Hooks() gc.Hooks {
+	return gc.Hooks{
+		GCBegin: func(info gc.GCBeginInfo) {
+			r.gcOrdinal++
+			r.collections.Inc()
+			if info.Full {
+				r.fullCollections.Inc()
+			}
+			r.condemnedBytes.Add(uint64(info.CondemnedBytes))
+			full := uint64(0)
+			if info.Full {
+				full = 1
+			}
+			r.rec.Emit(Event{
+				Kind: EvGCBegin, Time: r.now(), GC: r.gcOrdinal,
+				A: uint64(info.Trigger) | full<<8,
+				B: uint64(info.CondemnedIncrements),
+				C: uint64(info.CondemnedBytes),
+				D: uint64(info.OccupiedBytes),
+			})
+		},
+		Condemned: func(in gc.IncrementInfo) {
+			r.rec.Emit(Event{
+				Kind: EvCondemned, Time: r.now(), GC: r.gcOrdinal,
+				A: uint64(in.Belt),
+				B: uint64(in.Seq) | uint64(in.Train+1)<<32,
+				C: uint64(in.Bytes),
+				D: uint64(in.Frames),
+			})
+		},
+		GCEnd: func(info gc.GCEndInfo) {
+			r.pauseHist.Observe(info.Duration)
+			r.copiedHist.Observe(float64(info.BytesCopied))
+			r.remsetHist.Observe(float64(info.RemsetEntries))
+			r.barrierSlow.Add(info.BarrierSlowPaths)
+			r.occupied.Set(float64(info.SurvivorBytes))
+			r.rec.Emit(Event{
+				Kind: EvGCEnd, Time: r.now(), Dur: info.Duration, GC: r.gcOrdinal,
+				A: info.BytesCopied,
+				B: info.ObjectsCopied,
+				C: info.RemsetEntries,
+				D: info.BarrierSlowPaths,
+			})
+		},
+		Occupancy: func(b gc.BeltStat) {
+			r.rec.Emit(Event{
+				Kind: EvBelt, Time: r.now(), GC: r.gcOrdinal,
+				A: uint64(b.Belt),
+				B: uint64(b.Increments),
+				C: uint64(b.Bytes),
+				D: uint64(b.Frames),
+			})
+		},
+		Flip: func(newAllocBelt, remsetEntries int) {
+			r.flips.Inc()
+			r.rec.Emit(Event{
+				Kind: EvFlip, Time: r.now(),
+				A: uint64(newAllocBelt), B: uint64(remsetEntries),
+			})
+		},
+		OOM: func(requested, heapBytes int) {
+			r.ooms.Inc()
+			r.rec.Emit(Event{
+				Kind: EvOOM, Time: r.now(),
+				A: uint64(requested), B: uint64(heapBytes),
+			})
+		},
+	}
+}
+
+// RunSnapshot is a run's telemetry as plain data: the retained event
+// stream plus the metric values. It round-trips through JSON (the
+// engine's checkpoint records carry it) and merges into an Aggregator.
+type RunSnapshot struct {
+	Events        []Event           `json:"events,omitempty"`
+	DroppedEvents uint64            `json:"dropped_events,omitempty"`
+	Metrics       *RegistrySnapshot `json:"metrics,omitempty"`
+}
+
+// Snapshot captures the run's current state.
+func (r *Run) Snapshot() *RunSnapshot {
+	return &RunSnapshot{
+		Events:        r.rec.Events(),
+		DroppedEvents: r.rec.Dropped(),
+		Metrics:       r.reg.Snapshot(),
+	}
+}
+
+// PauseQuantile returns the q-quantile of the snapshot's pause-cost
+// histogram, in cost units (0 when the snapshot has no pause data).
+func (s *RunSnapshot) PauseQuantile(q float64) float64 {
+	if s == nil || s.Metrics == nil {
+		return 0
+	}
+	h, ok := s.Metrics.Histograms[MetricPauseCost]
+	if !ok {
+		return 0
+	}
+	return h.Quantile(q)
+}

@@ -3,9 +3,11 @@ package vm
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"beltway/internal/gc"
 	"beltway/internal/heap"
+	"beltway/internal/telemetry"
 )
 
 // mirror is the shadow copy of one simulated object, keyed by its
@@ -27,23 +29,53 @@ type Validator struct {
 	mut     *Mutator
 	mirrors map[uint32]*mirror
 	checks  int
+	// tele records the collector's GC event stream so a failed check can
+	// dump the history that led to the violation.
+	tele *telemetry.Run
 	// Failures collects diagnostics; Check panics on the first failure
 	// by default so test output points at the offending collection.
 	PanicOnFailure bool
 }
 
+// validatorDumpEvents is how many trailing flight-recorder events a
+// failed check attaches to its error.
+const validatorDumpEvents = 32
+
 func newValidator(m *Mutator) *Validator {
 	v := &Validator{mut: m, mirrors: make(map[uint32]*mirror), PanicOnFailure: true}
 	if hk, ok := m.C.(gc.Hookable); ok {
-		hk.SetHooks(gc.Hooks{PostGC: func() {
+		v.tele = telemetry.NewRun(m.C.Clock())
+		check := gc.Hooks{PostGC: func() {
 			if err := v.Check(); err != nil {
 				if v.PanicOnFailure {
 					panic(err)
 				}
 			}
-		}})
+		}}
+		// The recorder's hooks run first so the failing collection's own
+		// events (GCEnd, occupancy) are already recorded when Check dumps.
+		hk.SetHooks(v.tele.Hooks().Merge(check))
 	}
 	return v
+}
+
+// dump decorates a validation error with the recent GC event history.
+func (v *Validator) dump(err error) error {
+	if err == nil || v.tele == nil {
+		return err
+	}
+	events := v.tele.Recorder().Last(validatorDumpEvents)
+	if len(events) == 0 {
+		return err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v\nlast %d GC events:\n", err, len(events))
+	for _, e := range events {
+		b.WriteString("  ")
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return fmt.Errorf("%s", strings.TrimRight(b.String(), "\n"))
 }
 
 // Checks returns how many post-GC validations have run.
@@ -77,8 +109,14 @@ func (v *Validator) noteSetData(obj heap.Addr, i int, val uint32) {
 }
 
 // Check verifies the heap against the shadow graph. It is invoked
-// automatically after every collection and may be called manually.
+// automatically after every collection and may be called manually. A
+// failure's error includes the last flight-recorder events, so the
+// invariant violation comes with the GC history that produced it.
 func (v *Validator) Check() error {
+	return v.dump(v.check())
+}
+
+func (v *Validator) check() error {
 	v.checks++
 	sp := v.mut.C.Space()
 
