@@ -1,0 +1,31 @@
+package check
+
+import (
+	"beltway/internal/collectors"
+	"beltway/internal/core"
+)
+
+// PresetSpecs are the named collector spellings the oracle batteries
+// replay against: every preset family in internal/collectors — the
+// semi-space and Appel baselines, fixed nursery, older-first, two- and
+// three-belt Beltway in aligned and mixed sizes, MOS, and card marking.
+var PresetSpecs = []string{
+	"ss", "appel", "appel3", "ba2", "fixed:40",
+	"bofm:20", "bof:25",
+	"25.25", "30.60", "25.25.100", "40.40.mos",
+	"cards:25.25",
+}
+
+// PresetConfigs parses the full preset battery. Heap geometry is left
+// zero; the oracle's sizing policy (RunScript) or the caller fills it.
+func PresetConfigs() ([]core.Config, error) {
+	cfgs := make([]core.Config, 0, len(PresetSpecs))
+	for _, spec := range PresetSpecs {
+		cfg, err := collectors.Parse(spec, collectors.Options{})
+		if err != nil {
+			return nil, err
+		}
+		cfgs = append(cfgs, cfg)
+	}
+	return cfgs, nil
+}

@@ -1,0 +1,77 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+
+	"beltway/internal/core"
+)
+
+// RandomConfig generates a random legal Beltway configuration over the
+// given heap geometry: 1-4 belts, random increment fractions, bounded or
+// unbounded nurseries, random upward promotion edges, random barrier,
+// random trigger and extension settings. The differential oracle and the
+// core framework fuzz test share it: the paper's claim is that ANY legal
+// belt structure is a correct collector, so the generator deliberately
+// wanders far outside the named presets.
+func RandomConfig(rng *rand.Rand, heapBytes, frameBytes int) core.Config {
+	nBelts := 1 + rng.Intn(4)
+	cfg := core.Config{
+		HeapBytes:  heapBytes,
+		FrameBytes: frameBytes,
+	}
+	for i := 0; i < nBelts; i++ {
+		spec := core.BeltSpec{PromoteTo: i}
+		if i < nBelts-1 {
+			spec.PromoteTo = i + 1 + rng.Intn(nBelts-i-1)
+		}
+		switch rng.Intn(3) {
+		case 0:
+			spec.IncrementFrac = 1.0
+		case 1:
+			spec.IncrementFrac = 0.1 + 0.4*rng.Float64()
+		default:
+			spec.IncrementFrac = 0.2 + 0.6*rng.Float64()
+		}
+		if i == 0 && rng.Intn(2) == 0 {
+			spec.MaxIncrements = 1
+		}
+		cfg.Belts = append(cfg.Belts, spec)
+	}
+	switch rng.Intn(3) {
+	case 0:
+		cfg.Barrier = core.FrameBarrier
+	case 1:
+		cfg.Barrier = core.BoundaryBarrier
+	default:
+		cfg.Barrier = core.CardBarrier
+	}
+	if cfg.Barrier == core.FrameBarrier && rng.Intn(2) == 0 {
+		cfg.NurseryFilter = true
+	}
+	if rng.Intn(3) == 0 {
+		cfg.TTDBytes = heapBytes / 16
+	}
+	if rng.Intn(4) == 0 {
+		cfg.RemsetThreshold = 200 + rng.Intn(2000)
+	}
+	if rng.Intn(3) == 0 {
+		cfg.LOSThresholdBytes = frameBytes / 2
+	}
+	// MOS when the top belt qualifies.
+	last := nBelts - 1
+	if nBelts >= 2 && cfg.Barrier == core.FrameBarrier &&
+		cfg.Belts[last].IncrementFrac < 1 && rng.Intn(3) == 0 {
+		cfg.MOS = true
+		cfg.MOSCarsPerTrain = 2 + rng.Intn(4)
+	}
+	// Older-first (BOF) for two-belt windowed configs.
+	if nBelts == 2 && !cfg.MOS && rng.Intn(5) == 0 {
+		cfg.OlderFirst = true
+		cfg.Belts[0] = core.BeltSpec{IncrementFrac: 0.15 + 0.3*rng.Float64(), PromoteTo: 1}
+		cfg.Belts[1] = core.BeltSpec{IncrementFrac: cfg.Belts[0].IncrementFrac, PromoteTo: 0}
+		cfg.TTDBytes = 0
+	}
+	cfg.Name = fmt.Sprintf("rand-%d-belts-%s", nBelts, cfg.Barrier)
+	return cfg
+}

@@ -1,0 +1,20 @@
+package check
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestRepro_fuzzcheck_880c6bc replays the minimized reproducer committed as
+// testdata/fuzzcheck-880c6bc.json and asserts the divergence it once
+// demonstrated no longer occurs.
+func TestRepro_fuzzcheck_880c6bc(t *testing.T) {
+	fx, err := LoadFixture(filepath.Join("testdata", "fuzzcheck-880c6bc.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := fx.Run()
+	if rep.Failed() {
+		t.Fatalf("fixture %s diverges again:\n%s", fx.Name, rep.String())
+	}
+}

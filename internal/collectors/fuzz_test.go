@@ -1,0 +1,44 @@
+package collectors_test
+
+import (
+	"testing"
+
+	"beltway/internal/collectors"
+	"beltway/internal/core"
+	"beltway/internal/heap"
+)
+
+// FuzzConfigParse asserts the command-line surface is total and sound:
+// Parse never panics on any input, and every spec it accepts yields a
+// configuration that validates and builds a working heap. Anything
+// Parse-accepted-but-Validate-rejected is a bug in Parse — the user
+// typed a documented spelling and got a config the framework refuses.
+func FuzzConfigParse(f *testing.F) {
+	seeds := []string{
+		"ss", "bss", "semispace", "appel", "appel3", "ba2",
+		"fixed:40", "fixed:100", "bofm:20", "bof:25",
+		"25.25", "30.60", "25.25.100", "20.45.100", "40.40.mos",
+		"cards:25.25", "cards:appel", "cards:cards:ss",
+		"", "fixed:", "fixed:0", "fixed:101", "1.2.3", "25.25.99",
+		"mos", ".mos", "100.100", "100.100.100", "bof:100", "bofm:100",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	opts := collectors.Options{HeapBytes: 1 << 20, FrameBytes: 4096}
+	f.Fuzz(func(t *testing.T, spec string) {
+		if len(spec) > 64 {
+			return // command-line spellings are short; don't burn time on novels
+		}
+		cfg, err := collectors.Parse(spec, opts)
+		if err != nil {
+			return
+		}
+		if verr := cfg.Validate(); verr != nil {
+			t.Fatalf("Parse(%q) accepted a config Validate rejects: %v\n%+v", spec, verr, cfg)
+		}
+		if _, nerr := core.New(cfg, heap.NewRegistry()); nerr != nil {
+			t.Fatalf("Parse(%q) accepted a config core.New rejects: %v", spec, nerr)
+		}
+	})
+}

@@ -50,6 +50,13 @@ func Parse(spec string, o Options) (core.Config, error) {
 		if err != nil {
 			return core.Config{}, fmt.Errorf("collectors: %q: %w", spec, err)
 		}
+		// The fixed nursery keeps a copy reserve of its own size, so a
+		// 100% nursery would reserve the whole heap; found by
+		// FuzzConfigParse ("fixed:100" parsed to a config with
+		// ReserveFrac 1.0 that Validate then rejected).
+		if n >= 100 {
+			return core.Config{}, fmt.Errorf("collectors: %q: fixed nursery must be below 100%%", spec)
+		}
 		return generational.Fixed(n, o), nil
 	case strings.HasPrefix(s, "bofm:"):
 		n, err := pct(s[len("bofm:"):])

@@ -70,7 +70,11 @@ func (h *Heap) WriteRef(obj heap.Addr, slot int, val heap.Addr) {
 			} else {
 				c.BarrierSlowPaths++
 				cost += h.cfg.Costs.BarrierSlow
-				if h.rems.Insert(s, t, slotAddr) {
+				h.dbgBarrierHits++
+				if n := h.cfg.DebugDropBarrierEvery; n > 0 && h.dbgBarrierHits%n == 0 {
+					// Mutation-test knob: forget this pointer. See
+					// Config.DebugDropBarrierEvery.
+				} else if h.rems.Insert(s, t, slotAddr) {
 					c.RemsetInserts++
 				}
 			}

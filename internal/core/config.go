@@ -172,6 +172,13 @@ type Config struct {
 	// term of the cost model (paper Figure 1(b): large heaps page).
 	// Zero disables paging charges.
 	PhysMemBytes int
+
+	// DebugDropBarrierEvery, when positive, makes the write barrier
+	// silently drop every Nth interesting-pointer remember. It exists
+	// solely to prove the differential oracle catches barrier bugs (a
+	// mutation test; see internal/check) and is excluded from fixture
+	// serialization so committed reproducers never carry it.
+	DebugDropBarrierEvery int `json:"-"`
 }
 
 // Validate checks structural invariants of the configuration.

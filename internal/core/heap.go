@@ -40,14 +40,15 @@ type Heap struct {
 		bytes  int
 	}
 
-	reserveBytes int // current dynamic conservative copy reserve
-	serial       uint32
-	inGC         bool
-	gcCount      uint64
-	slowAtLastGC uint64 // Counters.BarrierSlowPaths at the previous GCEnd
-	remsetPoll   int    // allocation counter throttling the remset trigger poll
-	mos          mosState
-	los          losState
+	reserveBytes   int // current dynamic conservative copy reserve
+	serial         uint32
+	dbgBarrierHits int // slow-path count for DebugDropBarrierEvery
+	inGC           bool
+	gcCount        uint64
+	slowAtLastGC   uint64 // Counters.BarrierSlowPaths at the previous GCEnd
+	remsetPoll     int    // allocation counter throttling the remset trigger poll
+	mos            mosState
+	los            losState
 
 	// Reusable per-collection machinery, so steady-state collections and
 	// trigger polls allocate nothing: the gcState scratch (scan pointers,

@@ -1,0 +1,149 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeCheckpointLines writes a checkpoint file verbatim from raw lines.
+func writeCheckpointLines(t *testing.T, lines ...string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func recLine(t *testing.T, bench string, payload any) string {
+	t.Helper()
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Record{Key: Key{Benchmark: bench}, Outcome: OK, Payload: raw}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestLoadCheckpointSkipsGarbageLines interleaves complete records with
+// lines that are not JSON at all, truncated JSON, and JSON of the wrong
+// shape; every complete record before AND after the garbage must load.
+func TestLoadCheckpointSkipsGarbageLines(t *testing.T) {
+	path := writeCheckpointLines(t,
+		recLine(t, "a", 1),
+		"!!! not json at all",
+		recLine(t, "b", 2),
+		`{"key":{"benchmark":"trunc"},"outco`, // killed mid-write, then restarted
+		recLine(t, "c", 3),
+		`[1,2,3]`, // valid JSON, wrong shape
+		"",        // blank line
+		recLine(t, "d", 4),
+	)
+	prior, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prior) != 4 {
+		t.Fatalf("loaded %d records, want 4: %v", len(prior), prior)
+	}
+	for i, bench := range []string{"a", "b", "c", "d"} {
+		rec, ok := prior[Key{Benchmark: bench}.String()]
+		if !ok {
+			t.Fatalf("record %q missing", bench)
+		}
+		var got int
+		if err := json.Unmarshal(rec.Payload, &got); err != nil || got != i+1 {
+			t.Errorf("record %q payload %s, want %d", bench, rec.Payload, i+1)
+		}
+	}
+}
+
+// TestLoadCheckpointHugeRecordLine covers records longer than the 64 KiB
+// read buffer: bufio.Reader.ReadBytes accumulates across refills, so a
+// single oversized line must come back whole, not split into a parsable
+// prefix plus garbage.
+func TestLoadCheckpointHugeRecordLine(t *testing.T) {
+	big := strings.Repeat("x", 3<<16) // 192 KiB payload string
+	path := writeCheckpointLines(t,
+		recLine(t, "small-before", "s"),
+		recLine(t, "huge", big),
+		recLine(t, "small-after", "s"),
+	)
+	prior, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prior) != 3 {
+		t.Fatalf("loaded %d records, want 3", len(prior))
+	}
+	var got string
+	if err := json.Unmarshal(prior[Key{Benchmark: "huge"}.String()].Payload, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != big {
+		t.Errorf("huge payload corrupted: %d bytes back, want %d", len(got), len(big))
+	}
+}
+
+// TestLoadCheckpointTruncatedFinalLineKeepsLastKey is the mid-write-kill
+// scenario for a RE-RUN key: the last complete record for a key wins even
+// when a later rewrite of that same key was cut off.
+func TestLoadCheckpointTruncatedFinalLineKeepsLastKey(t *testing.T) {
+	complete := recLine(t, "a", 2)
+	path := writeCheckpointLines(t,
+		recLine(t, "a", 1),
+		complete,
+		complete[:len(complete)/2], // the third attempt died mid-write
+	)
+	prior, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prior) != 1 {
+		t.Fatalf("loaded %d records, want 1", len(prior))
+	}
+	var got int
+	rec := prior[Key{Benchmark: "a"}.String()]
+	if err := json.Unmarshal(rec.Payload, &got); err != nil || got != 2 {
+		t.Errorf("payload %s, want 2 (last complete record)", rec.Payload)
+	}
+}
+
+// TestLoadCheckpointLastRecordWinsProperty: for any interleaving of keys
+// the loaded map reflects exactly the final complete record of each key.
+func TestLoadCheckpointLastRecordWinsProperty(t *testing.T) {
+	keys := []string{"k0", "k1", "k2"}
+	var lines []string
+	want := map[string]int{}
+	seq := []int{0, 1, 0, 2, 2, 1, 0, 2, 1, 1}
+	for i, k := range seq {
+		bench := keys[k]
+		lines = append(lines, recLine(t, bench, i))
+		want[bench] = i
+		if i%3 == 1 {
+			lines = append(lines, fmt.Sprintf("garbage %d", i))
+		}
+	}
+	prior, err := LoadCheckpoint(writeCheckpointLines(t, lines...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prior) != len(keys) {
+		t.Fatalf("loaded %d records, want %d", len(prior), len(keys))
+	}
+	for bench, wantV := range want {
+		var got int
+		rec := prior[Key{Benchmark: bench}.String()]
+		if err := json.Unmarshal(rec.Payload, &got); err != nil || got != wantV {
+			t.Errorf("%s: payload %s, want %d", bench, rec.Payload, wantV)
+		}
+	}
+}

@@ -24,8 +24,21 @@ const NilHandle Handle = 0
 type RootSet struct {
 	slots  []heap.Addr
 	inUse  []bool
+	epochs []uint32 // incarnation counter per slot; bumps on free-list reuse
 	free   []int32
-	scoped [][]Handle // per open scope: handles to release at PopScope
+	scoped [][]scopedRef // per open scope: handles to release at PopScope
+}
+
+// scopedRef pins a scope entry to one incarnation of its slot. A handle
+// value is an index, so after Remove frees the slot and the free list
+// hands the index out again, the same Handle names a different root;
+// the epoch lets PopScope release exactly the incarnation it registered
+// and skip stale entries. (Found by differential fuzzing: release inside
+// a scope, then a global allocation reusing the slot, then PopScope
+// silently killed the global root.)
+type scopedRef struct {
+	h     Handle
+	epoch uint32
 }
 
 // NewRootSet returns an empty root set.
@@ -41,7 +54,7 @@ func (r *RootSet) Add(a heap.Addr) Handle {
 	idx := r.addSlot(a)
 	h := Handle(idx + 1)
 	if n := len(r.scoped); n > 0 {
-		r.scoped[n-1] = append(r.scoped[n-1], h)
+		r.scoped[n-1] = append(r.scoped[n-1], scopedRef{h, r.epochs[idx]})
 	}
 	return h
 }
@@ -59,10 +72,12 @@ func (r *RootSet) addSlot(a heap.Addr) int32 {
 		r.free = r.free[:n-1]
 		r.slots[idx] = a
 		r.inUse[idx] = true
+		r.epochs[idx]++
 		return idx
 	}
 	r.slots = append(r.slots, a)
 	r.inUse = append(r.inUse, true)
+	r.epochs = append(r.epochs, 0)
 	return int32(len(r.slots) - 1)
 }
 
@@ -115,9 +130,9 @@ func (r *RootSet) PopScope() {
 	if n == 0 {
 		panic("gc: PopScope without PushScope")
 	}
-	for _, h := range r.scoped[n-1] {
-		if r.valid(h) {
-			r.Remove(h)
+	for _, sr := range r.scoped[n-1] {
+		if r.valid(sr.h) && r.epochs[sr.h-1] == sr.epoch {
+			r.Remove(sr.h)
 		}
 	}
 	r.scoped = r.scoped[:n-1]

@@ -91,6 +91,45 @@ func TestScopeWithExplicitRemove(t *testing.T) {
 	}
 }
 
+// TestPopScopeSkipsReusedSlot is the regression test for a bug found by
+// differential fuzzing (internal/check testdata fuzzcheck-880c6bc): a
+// handle explicitly Removed inside a scope frees its slot index, the
+// free list hands the same index — hence the same Handle value — to a
+// later AddGlobal, and PopScope, still holding the stale entry, used to
+// release the reused global root out from under the mutator.
+func TestPopScopeSkipsReusedSlot(t *testing.T) {
+	r := NewRootSet()
+	r.PushScope()
+	h := r.Add(0x40)
+	r.Remove(h)
+	g := r.AddGlobal(0x80) // reuses h's slot: same Handle value
+	if g != h {
+		t.Fatalf("precondition: expected slot reuse, got %d vs %d", g, h)
+	}
+	r.PopScope()
+	if got := r.Get(g); got != 0x80 {
+		t.Fatalf("global root killed by stale scope entry: Get = %#x", got)
+	}
+	// Same incarnation hazard with a scoped re-add in an outer scope.
+	r2 := NewRootSet()
+	r2.PushScope() // outer
+	r2.PushScope() // inner
+	a := r2.Add(0x10)
+	r2.Remove(a)
+	r2.PopScope() // inner scope: must not touch the freed slot
+	b := r2.Add(0x20)
+	if b != a {
+		t.Fatalf("precondition: expected slot reuse, got %d vs %d", b, a)
+	}
+	if got := r2.Get(b); got != 0x20 {
+		t.Fatalf("outer-scope root damaged: Get = %#x", got)
+	}
+	r2.PopScope() // outer: releases b's incarnation
+	if r2.Len() != 0 {
+		t.Fatalf("Len = %d after all scopes closed", r2.Len())
+	}
+}
+
 func TestPopScopeUnderflowPanics(t *testing.T) {
 	r := NewRootSet()
 	defer func() {

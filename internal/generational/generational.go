@@ -46,7 +46,7 @@ func Appel(o core.Options) core.Config {
 // the nursery is what cripples these collectors in tight heaps
 // (paper Figure 6).
 func Fixed(nurseryPercent int, o core.Options) core.Config {
-	if nurseryPercent <= 0 || nurseryPercent > 100 {
+	if nurseryPercent <= 0 || nurseryPercent >= 100 {
 		panic(fmt.Sprintf("generational: bad nursery percentage %d", nurseryPercent))
 	}
 	c := core.Config{

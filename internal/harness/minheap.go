@@ -17,9 +17,33 @@ func FindMinHeap(mk ConfigFunc, bench *workload.Benchmark, env Env) (int, error)
 		}
 		return !res.OOM, nil
 	}
+	n, err := findMinHeap(completes, env.FrameBytes)
+	if err != nil {
+		return 0, fmt.Errorf("harness: %s: %w", bench.Name, err)
+	}
+	return n, nil
+}
+
+// findMinHeap is the search core, separated from benchmark execution so
+// the probe order can be unit-tested against stub thresholds. It returns
+// the smallest TESTED completing size at frame granularity: the search
+// floor of 8 frames is probed first (it used to be assumed failing, which
+// inflated the reported minimum of anything that completes at or below
+// the floor), and the bisection maintains "lo tested failing, hi tested
+// completing" so the final hi needs no extra confirmation run.
+func findMinHeap(completes func(int) (bool, error), frameBytes int) (int, error) {
+	lo := 8 * frameBytes
+	ok, err := completes(lo)
+	if err != nil {
+		return 0, err
+	}
+	if ok {
+		// The floor completes; 8 frames is the smallest size the search
+		// is willing to distinguish, so report it.
+		return lo, nil
+	}
 
 	// Exponential search upward for a completing size.
-	lo := 8 * env.FrameBytes // too small for anything real
 	hi := lo * 2
 	for {
 		ok, err := completes(hi)
@@ -32,15 +56,18 @@ func FindMinHeap(mk ConfigFunc, bench *workload.Benchmark, env Env) (int, error)
 		lo = hi
 		hi *= 2
 		if hi > 1<<31 {
-			return 0, fmt.Errorf("harness: %s never completes", bench.Name)
+			return 0, fmt.Errorf("never completes in any heap up to 2 GiB")
 		}
 	}
 
-	// Bisect down to frame granularity.
-	for hi-lo > env.FrameBytes {
+	// Bisect down to frame granularity. Invariant: lo failed, hi
+	// completed, both actually run.
+	for hi-lo > frameBytes {
 		mid := (lo + hi) / 2
-		mid = (mid / env.FrameBytes) * env.FrameBytes
+		mid = (mid / frameBytes) * frameBytes
 		if mid <= lo {
+			// Rounding pinned mid to the failing bound; the interval is
+			// already below frame granularity.
 			break
 		}
 		ok, err := completes(mid)

@@ -123,8 +123,18 @@ func Compute(clock *stats.Clock, n int) Curve {
 		lo = total / 1e6
 	}
 	hi := total
+	if lo > hi {
+		lo = hi
+	}
 	for i := 0; i < n; i++ {
 		w := lo * math.Pow(hi/lo, float64(i)/float64(n-1))
+		if k := len(c.Points); k > 0 && w <= c.Points[k-1].Window {
+			// Log spacing collides when hi/lo is near 1 (or rounds below
+			// the previous sample near the ends of the range); keeping a
+			// duplicate window would divide by zero in At's log-space
+			// interpolation.
+			continue
+		}
 		c.Points = append(c.Points, Point{Window: w, Utilization: MMU(pauses, total, w)})
 	}
 	c.Monotone()
@@ -144,7 +154,14 @@ func (c Curve) At(w float64) float64 {
 	for i := 1; i < len(pts); i++ {
 		if w <= pts[i].Window {
 			a, b := pts[i-1], pts[i]
-			f := (math.Log(w) - math.Log(a.Window)) / (math.Log(b.Window) - math.Log(a.Window))
+			span := math.Log(b.Window) - math.Log(a.Window)
+			if !(span > 0) {
+				// Duplicate (or unsorted) windows in a hand-built curve:
+				// interpolation is undefined, so report the conservative
+				// (lower) of the two utilizations instead of NaN.
+				return math.Min(a.Utilization, b.Utilization)
+			}
+			f := (math.Log(w) - math.Log(a.Window)) / span
 			return a.Utilization + f*(b.Utilization-a.Utilization)
 		}
 	}

@@ -122,6 +122,105 @@ func TestCurveAtInterpolates(t *testing.T) {
 	}
 }
 
+// TestCurveAtEdgeCases pins At's behavior on degenerate curves: empty,
+// single-point, duplicate windows, and the div-by-zero case — two
+// distinct windows so close (or so large) that their logs collapse to
+// the same float64, which used to interpolate to NaN.
+func TestCurveAtEdgeCases(t *testing.T) {
+	// log(next) == log(1e15) exactly in float64: the relative gap is one
+	// ulp of the argument, far below one ulp of the logarithm.
+	next := math.Nextafter(1e15, 2e15)
+	one := Curve{Points: []Point{{Window: 5, Utilization: 0.4}}}
+	cases := []struct {
+		name  string
+		curve Curve
+		w     float64
+		want  float64
+	}{
+		{"empty curve", Curve{}, 10, 0},
+		{"one point, below", one, 1, 0.4},
+		{"one point, at", one, 5, 0.4},
+		{"one point, above", one, 100, 0.4},
+		{"zero window", one, 0, 0.4},
+		{"log-collapsed pair", Curve{Points: []Point{
+			{Window: 1e15, Utilization: 0.2},
+			{Window: next, Utilization: 0.8},
+		}}, next, 0.2},
+		{"exact duplicate windows", Curve{Points: []Point{
+			{Window: 5, Utilization: 0.3},
+			{Window: 5, Utilization: 0.9},
+		}}, 5, 0.3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.curve.At(tc.w)
+			if math.IsNaN(got) {
+				t.Fatalf("At(%v) = NaN", tc.w)
+			}
+			if math.Abs(got-tc.want) > 1e-9 {
+				t.Errorf("At(%v) = %v, want %v", tc.w, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestComputeEdgeCases covers runs where the sampling range degenerates:
+// no pauses at all, a run that is one single pause, and a denormal-scale
+// total where log spacing collides and Compute must drop the duplicate
+// windows it used to emit.
+func TestComputeEdgeCases(t *testing.T) {
+	t.Run("zero pauses", func(t *testing.T) {
+		curve := Compute(clockWith(50), 8)
+		if curve.MaxPause != 0 || curve.Throughput != 1 {
+			t.Fatalf("MaxPause=%v Throughput=%v", curve.MaxPause, curve.Throughput)
+		}
+		for _, p := range curve.Points {
+			if p.Utilization != 1 {
+				t.Fatalf("utilization %v at window %v, want 1", p.Utilization, p.Window)
+			}
+		}
+		if got := curve.At(25); got != 1 {
+			t.Errorf("At(25) = %v, want 1", got)
+		}
+	})
+	t.Run("run is one single pause", func(t *testing.T) {
+		curve := Compute(clockWith(10, [2]float64{0, 10}), 8)
+		if curve.Throughput != 0 {
+			t.Fatalf("Throughput = %v, want 0", curve.Throughput)
+		}
+		for _, p := range curve.Points {
+			if p.Utilization != 0 {
+				t.Fatalf("utilization %v at window %v, want 0", p.Utilization, p.Window)
+			}
+		}
+		if got := curve.At(3); got != 0 {
+			t.Errorf("At(3) = %v, want 0", got)
+		}
+	})
+	t.Run("denormal total dedupes windows", func(t *testing.T) {
+		// At denormal magnitudes adjacent log-spaced samples round to the
+		// same float64, so the raw sampling loop produces duplicates.
+		curve := Compute(clockWith(1e-320, [2]float64{0, 1e-321}), 512)
+		if len(curve.Points) == 0 {
+			t.Fatal("no points")
+		}
+		if len(curve.Points) >= 512 {
+			t.Fatalf("expected window collisions to be dropped, kept all %d", len(curve.Points))
+		}
+		for i := 1; i < len(curve.Points); i++ {
+			if curve.Points[i].Window <= curve.Points[i-1].Window {
+				t.Fatalf("windows not strictly increasing at %d: %v, %v",
+					i, curve.Points[i-1].Window, curve.Points[i].Window)
+			}
+		}
+		for w := curve.Points[0].Window; w <= 1e-320; w *= 1.5 {
+			if u := curve.At(w); math.IsNaN(u) || u < 0 || u > 1 {
+				t.Fatalf("At(%v) = %v", w, u)
+			}
+		}
+	})
+}
+
 func TestMMUBoundsProperty(t *testing.T) {
 	// Property: for random pause layouts, 0 <= MMU <= 1 and MMU at the
 	// full window equals 1 - gc/total.

@@ -1,0 +1,142 @@
+package remset_test
+
+import (
+	"sort"
+	"testing"
+
+	"beltway/internal/heap"
+	"beltway/internal/remset"
+)
+
+// triple is one stored entry in the reference model.
+type triple struct {
+	src, tgt heap.Frame
+	slot     heap.Addr
+}
+
+// refModel is the obviously-correct shadow of remset.Table: a flat set
+// of (src, tgt, slot) triples with no indexes, no compaction and no
+// insert cache — everything the real table optimizes away.
+type refModel map[triple]struct{}
+
+func (m refModel) insert(tr triple) bool {
+	if _, dup := m[tr]; dup {
+		return false
+	}
+	m[tr] = struct{}{}
+	return true
+}
+
+func (m refModel) deleteFrame(f heap.Frame) {
+	for tr := range m {
+		if tr.src == f || tr.tgt == f {
+			delete(m, tr)
+		}
+	}
+}
+
+// collectRoots mirrors Table.CollectRoots: slots of sets with condemned
+// target and un-condemned source are returned and removed; sets between
+// two condemned frames stay (the caller's DeleteFrame handles those).
+func (m refModel) collectRoots(condemned func(heap.Frame) bool) []heap.Addr {
+	var out []heap.Addr
+	for tr := range m {
+		if condemned(tr.tgt) && !condemned(tr.src) {
+			out = append(out, tr.slot)
+			delete(m, tr)
+		}
+	}
+	return out
+}
+
+func (m refModel) targeting(pred func(heap.Frame) bool) int {
+	n := 0
+	for tr := range m {
+		if pred(tr.tgt) {
+			n++
+		}
+	}
+	return n
+}
+
+func sortAddrs(a []heap.Addr) {
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+}
+
+// FuzzRemsetTable drives remset.Table and the reference model with the
+// same decoded command stream and asserts they agree on every observable
+// after every command: total entry count, per-target counts, membership,
+// and the root sets handed to a collection. The table's insert cache,
+// per-frame indexes, sorted/tail compaction and self-pair handling in
+// DeleteFrame are all on trial.
+func FuzzRemsetTable(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 0, 1, 2, 3, 8, 1, 0, 0, 10, 3, 0, 0})
+	f.Add([]byte{0, 0, 0, 1, 0, 16, 16, 2, 9, 0, 0, 0, 11, 0, 0, 0})
+	f.Add([]byte{0, 5, 5, 9, 0, 5, 6, 9, 10, 5, 0, 0, 0, 5, 5, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tbl := remset.NewTable()
+		model := refModel{}
+		const nFrames = 16
+		frame := func(b byte) heap.Frame { return heap.Frame(1 + int(b)%nFrames) }
+		for i := 0; i+4 <= len(data) && i < 4*4096; i += 4 {
+			cmd, a, b, c := data[i], data[i+1], data[i+2], data[i+3]
+			switch cmd % 12 {
+			case 8:
+				fr := frame(a)
+				tbl.DeleteFrame(fr)
+				model.deleteFrame(fr)
+			case 9, 10:
+				// Condemn a contiguous frame range, as increment
+				// collection does.
+				lo, n := 1+int(a)%nFrames, 1+int(b)%nFrames
+				condemned := func(fr heap.Frame) bool {
+					return int(fr) >= lo && int(fr) < lo+n
+				}
+				got := tbl.CollectRoots(condemned)
+				want := model.collectRoots(condemned)
+				sortAddrs(got)
+				sortAddrs(want)
+				if len(got) != len(want) {
+					t.Fatalf("CollectRoots(%d..%d): %d roots, model %d", lo, lo+n, len(got), len(want))
+				}
+				for j := range got {
+					if got[j] != want[j] {
+						t.Fatalf("CollectRoots root %d: %v vs model %v", j, got[j], want[j])
+					}
+				}
+				// The collected frames are then deleted, as core does.
+				for fr := lo; fr < lo+n; fr++ {
+					tbl.DeleteFrame(heap.Frame(fr))
+					model.deleteFrame(heap.Frame(fr))
+				}
+			case 11:
+				parity := int(a) % 2
+				pred := func(fr heap.Frame) bool { return int(fr)%2 == parity }
+				if got, want := tbl.EntriesTargeting(pred), model.targeting(pred); got != want {
+					t.Fatalf("EntriesTargeting(parity %d): %d, model %d", parity, got, want)
+				}
+			default: // insert, weighted 8/12 to build real populations
+				tr := triple{frame(a), frame(b), heap.Addr(1 + uint32(c)%96)}
+				got := tbl.Insert(tr.src, tr.tgt, tr.slot)
+				want := model.insert(tr)
+				if got != want {
+					t.Fatalf("Insert(%d,%d,%v) new=%v, model new=%v", tr.src, tr.tgt, tr.slot, got, want)
+				}
+				if !tbl.Contains(tr.src, tr.tgt, tr.slot) {
+					t.Fatalf("Contains(%d,%d,%v) false immediately after Insert", tr.src, tr.tgt, tr.slot)
+				}
+			}
+			if got, want := tbl.TotalEntries(), len(model); got != want {
+				t.Fatalf("TotalEntries %d, model %d", got, want)
+			}
+		}
+		// Drain everything and require an empty table.
+		tbl.CollectRoots(func(heap.Frame) bool { return true })
+		for fr := 1; fr <= nFrames; fr++ {
+			tbl.DeleteFrame(heap.Frame(fr))
+		}
+		if tbl.TotalEntries() != 0 || tbl.NumSets() != 0 {
+			t.Fatalf("after full drain: %d entries, %d sets", tbl.TotalEntries(), tbl.NumSets())
+		}
+	})
+}

@@ -203,3 +203,87 @@ func (v *Validator) check() error {
 // LiveMirrors returns the number of shadow objects ever allocated (the
 // shadow graph is never pruned; the validator is a test facility).
 func (v *Validator) LiveMirrors() int { return len(v.mirrors) }
+
+// LiveFingerprint renders the root-reachable object graph of the REAL
+// heap (not the shadow) in a canonical, address-free form: objects are
+// keyed by allocation serial — which is assigned by mutator operation
+// order and therefore identical across collectors replaying the same
+// trace — and listed sorted, each with its type, length, data words and
+// outgoing reference serials. Two collectors preserve the same mutator
+// semantics iff their fingerprints after replaying the same trace are
+// equal; addresses, belt geometry, cost and telemetry never appear in
+// the fingerprint. The differential oracle (internal/check) compares
+// these across configurations, while the mirror-based Check compares
+// each heap against its own shadow.
+func (v *Validator) LiveFingerprint() string {
+	sp := v.mut.C.Space()
+
+	// Root serial multiset, in sorted order: the root table's handle
+	// assignment is part of mutator-observable state (trace replay
+	// asserts handle equality), so the roots' referents must agree too.
+	var rootSerials []uint32
+	var frontier []heap.Addr
+	seen := make(map[uint32]heap.Addr)
+	v.mut.roots.Walk(func(a heap.Addr) heap.Addr {
+		rootSerials = append(rootSerials, sp.Serial(a))
+		if ser := sp.Serial(a); seen[ser] == heap.Nil {
+			seen[ser] = a
+			frontier = append(frontier, a)
+		}
+		return a
+	})
+	for len(frontier) > 0 {
+		a := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		for i, n := 0, sp.NumRefs(a); i < n; i++ {
+			ra := sp.GetRef(a, i)
+			if ra == heap.Nil {
+				continue
+			}
+			if ser := sp.Serial(ra); seen[ser] == heap.Nil {
+				seen[ser] = ra
+				frontier = append(frontier, ra)
+			}
+		}
+	}
+
+	serials := make([]uint32, 0, len(seen))
+	for ser := range seen {
+		serials = append(serials, ser)
+	}
+	sort.Slice(serials, func(i, j int) bool { return serials[i] < serials[j] })
+	sort.Slice(rootSerials, func(i, j int) bool { return rootSerials[i] < rootSerials[j] })
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "roots %v\n", rootSerials)
+	for _, ser := range serials {
+		a := seen[ser]
+		fmt.Fprintf(&b, "#%d %s/%d", ser, sp.TypeOf(a).Name, sp.Length(a))
+		if n := sp.NumRefs(a); n > 0 {
+			b.WriteString(" r[")
+			for i := 0; i < n; i++ {
+				if i > 0 {
+					b.WriteByte(' ')
+				}
+				if ra := sp.GetRef(a, i); ra != heap.Nil {
+					fmt.Fprintf(&b, "%d", sp.Serial(ra))
+				} else {
+					b.WriteByte('_')
+				}
+			}
+			b.WriteByte(']')
+		}
+		if n := sp.DataWords(a); n > 0 {
+			b.WriteString(" d[")
+			for i := 0; i < n; i++ {
+				if i > 0 {
+					b.WriteByte(' ')
+				}
+				fmt.Fprintf(&b, "%x", sp.GetData(a, i))
+			}
+			b.WriteByte(']')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
