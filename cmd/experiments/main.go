@@ -37,6 +37,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 
 	"beltway/internal/engine"
 	"beltway/internal/experiments"
@@ -69,6 +70,10 @@ func main() {
 			"per-run wall-clock budget (e.g. 30s; 0 = none); exceeded runs are recorded as failures")
 		budget = flag.Float64("budget", 0,
 			"per-run cost budget in nominal seconds of simulated time (0 = none); exceeded runs abort deterministically")
+		degrade = flag.Bool("degrade", false,
+			"enable the graceful-degradation ladder: emergency full-heap collection and one retry before any run reports OOM")
+		faultSeed = flag.Int64("fault-seed", 0,
+			"run every configuration under a deterministic fault-injection schedule derived from this seed (chaos testing; 0 = off)")
 
 		traceOut = flag.String("trace-out", "",
 			"write a Chrome trace_event JSON of every run's GC events (open in chrome://tracing or Perfetto)")
@@ -102,6 +107,8 @@ func main() {
 	if *budget > 0 {
 		env.CostBudget = *budget * stats.CyclesPerSecond
 	}
+	env.Degrade = *degrade
+	env.FaultSeed = *faultSeed
 
 	// Telemetry: observability output goes to files (and the optional HTTP
 	// endpoint), never stdout, so the printed tables stay byte-identical
@@ -144,6 +151,12 @@ func main() {
 	}
 	suite := experiments.New(opts)
 	defer suite.Close()
+	if *checkpoint != "" {
+		// A killed sweep must leave a durable checkpoint: flush it on
+		// SIGINT/SIGTERM, then die with the conventional signal status.
+		stop := suite.Engine().FlushOnSignal(os.Interrupt, syscall.SIGTERM)
+		defer stop()
+	}
 
 	var ids []string
 	if *exp == "all" {

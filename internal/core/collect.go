@@ -131,11 +131,12 @@ func (h *Heap) collect(victims []*Increment, trigger gc.TriggerKind) error {
 		return gcErr
 	}
 
-	// 2. Boot image scan (boundary-barrier configurations only): the
-	// cheap boundary barrier does not remember boot-image stores, so —
-	// as the paper notes of Appel's collector — the whole boot image is
-	// scanned at every collection.
-	if h.cfg.Barrier == BoundaryBarrier {
+	// 2. Boot image scan: boundary-barrier configurations pay it at every
+	// collection (their cheap barrier does not remember boot-image
+	// stores, as the paper notes of Appel's collector); a heap in remset-
+	// overflow degradation pays it too, because the dropped entries could
+	// have covered boot- or LOS-sourced pointers.
+	if h.cfg.Barrier == BoundaryBarrier || h.deg.remsetOverflow {
 		if err := h.scanBootImage(st); err != nil {
 			return err
 		}
@@ -206,6 +207,13 @@ func (h *Heap) collect(victims []*Increment, trigger gc.TriggerKind) error {
 	}
 
 	h.sweepLOS()
+
+	// An all-increments collection re-derived every interesting pointer
+	// (survivor slots via rescanSlot, boot/LOS slots via scanBootImage),
+	// so the remembered sets are whole again.
+	if h.deg.remsetOverflow && len(victims) == total {
+		h.deg.remsetOverflow = false
+	}
 
 	h.recomputeReserve()
 	h.inGC = false // the heap is consistent again; hooks may inspect it
@@ -502,6 +510,12 @@ func (h *Heap) scanBootImage(st *gcState) error {
 					return false
 				}
 				h.space.SetWord(slotAddr, uint32(nv))
+				// Re-apply the barrier rule: a no-op for the boundary
+				// barrier (boot sources are never remembered), but under
+				// remset-overflow degradation the frame barrier must
+				// re-remember boot->heap pointers before the overflow
+				// flag can clear.
+				h.rescanSlot(slotAddr, nv)
 				slotAddr += heap.WordBytes
 			}
 			return true
@@ -525,6 +539,7 @@ func (h *Heap) scanBootImage(st *gcState) error {
 				return err
 			}
 			h.space.SetRef(lo.addr, i, nv)
+			h.rescanSlot(h.space.RefSlotAddr(lo.addr, i), nv)
 		}
 	}
 	return nil
@@ -541,11 +556,35 @@ func (h *Heap) scanBootImage(st *gcState) error {
 //     fails — as the paper's do in Figure 6 — when survivors no longer
 //     fit beside the reserved nursery.
 func (h *Heap) gcAddFrame(in *Increment) error {
+	if fh := h.cfg.Faults; fh != nil && fh.ReserveGrant != nil && !fh.ReserveGrant() {
+		// Injected transient reservation failure. Without the ladder it
+		// is fatal — exactly the fragility this subsystem removes; with
+		// it, one retry absorbs the fault (schedules guarantee at least
+		// resilience.MinGap calls between faults, so the retry's own
+		// consultation cannot fire again).
+		if !h.cfg.Degrade {
+			return h.oomError(0,
+				fmt.Sprintf("%s: copy reserve grant failed during collection", h.cfg.Name))
+		}
+		h.noteDegrade(gc.DegradeReserveRetry, 0)
+		if !fh.ReserveGrant() {
+			return h.oomError(0,
+				fmt.Sprintf("%s: copy reserve grant failed during collection", h.cfg.Name))
+		}
+	}
 	limit := h.cfg.HeapBytes + (len(h.belts)+2)*h.cfg.FrameBytes
 	if (h.heapFrames+1)*h.cfg.FrameBytes > limit {
-		h.noteOOM(0)
-		return &gc.OOMError{HeapBytes: h.cfg.HeapBytes,
-			Detail: fmt.Sprintf("%s: copy reserve exhausted during collection", h.cfg.Name)}
+		// A Cheney collection cannot abort mid-scan, so a reserve
+		// exhausted mid-collection is absorbed — under the ladder — by a
+		// bounded overdraft: map beyond the cap now, settle with an
+		// emergency collection at the next safe point.
+		if !h.cfg.Degrade || h.deg.overdraftFrames >= h.overdraftLimit() {
+			return h.oomError(0,
+				fmt.Sprintf("%s: copy reserve exhausted during collection", h.cfg.Name))
+		}
+		h.deg.overdraftFrames++
+		h.deg.pendingEmergency = true
+		h.noteDegrade(gc.DegradeOverdraft, 0)
 	}
 	otherReserve := 0.0
 	for i, b := range h.belts {
@@ -563,11 +602,15 @@ func (h *Heap) gcAddFrame(in *Increment) error {
 			}
 		}
 		if held+1 > beltCap {
-			h.noteOOM(0)
-			return &gc.OOMError{HeapBytes: h.cfg.HeapBytes,
-				Detail: fmt.Sprintf("%s: survivors exceed the space left by reserved belts", h.cfg.Name)}
+			// Permanent reservations stay hard even under the ladder:
+			// they model a policy choice, not a transient failure.
+			return h.oomError(0,
+				fmt.Sprintf("%s: survivors exceed the space left by reserved belts", h.cfg.Name))
 		}
 	}
-	h.addFrame(in)
+	if !h.addFrame(in) && !h.addFrame(in) { // one retry absorbs an injected map fault
+		return h.oomError(0,
+			fmt.Sprintf("%s: frame map failed during collection", h.cfg.Name))
+	}
 	return nil
 }

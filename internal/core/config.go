@@ -12,6 +12,7 @@ package core
 import (
 	"fmt"
 
+	"beltway/internal/gc"
 	"beltway/internal/stats"
 )
 
@@ -172,6 +173,24 @@ type Config struct {
 	// term of the cost model (paper Figure 1(b): large heaps page).
 	// Zero disables paging charges.
 	PhysMemBytes int
+
+	// Degrade enables the graceful-degradation ladder (see degrade.go):
+	// before surfacing an OOM the collector runs an emergency full-heap
+	// collection — condemning every collectible increment, the
+	// X.X -> X.X.100 completeness fallback — and retries the failed
+	// allocation once; mid-collection reserve exhaustion is absorbed by
+	// a bounded overdraft settled the same way. Off (the default) the
+	// collector fails exactly as the paper's incomplete configurations
+	// do, and behavior is bit-identical to a build without the ladder.
+	Degrade bool
+
+	// Faults, when non-nil, wires deterministic fault injection into the
+	// substrate and the collector hot paths (see gc.FaultHooks and
+	// internal/resilience). Nil — the default — costs one pointer test
+	// per injection point. Excluded from serialization like
+	// DebugDropBarrierEvery: fault schedules are run-scoped, not part of
+	// a configuration's identity.
+	Faults *gc.FaultHooks `json:"-"`
 
 	// DebugDropBarrierEvery, when positive, makes the write barrier
 	// silently drop every Nth interesting-pointer remember. It exists

@@ -49,6 +49,7 @@ type Heap struct {
 	remsetPoll     int    // allocation counter throttling the remset trigger poll
 	mos            mosState
 	los            losState
+	deg            degradeState
 
 	// Reusable per-collection machinery, so steady-state collections and
 	// trigger polls allocate nothing: the gcState scratch (scan pointers,
@@ -79,6 +80,12 @@ func New(cfg Config, types *heap.Registry) (*Heap, error) {
 	}
 	h.space.OnMap = func() { h.clock.Counters.FramesMapped++ }
 	h.space.OnUnmap = func() { h.clock.Counters.FramesUnmapped++ }
+	if fh := cfg.Faults; fh != nil && fh.MapFrame != nil {
+		// Collectible-frame maps go through TryMapFrame/TryMapSpan, so
+		// this gates exactly the injectable sites; boot-image maps use
+		// MapFrame directly and stay must-succeed.
+		h.space.MapGate = fh.MapFrame
+	}
 	for i, spec := range cfg.Belts {
 		h.belts = append(h.belts, &Belt{spec: spec, priority: uint16(i), promoteTo: spec.PromoteTo})
 	}
@@ -214,6 +221,13 @@ func (h *Heap) Alloc(t *heap.TypeDesc, length int) (heap.Addr, error) {
 	// AllocByte covers zeroing and header init; BarrierFast models the
 	// TIB-initialization store every Jikes allocation performs (§3.3.2).
 	h.clock.Advance(h.cfg.Costs.AllocByte*float64(size) + h.cfg.Costs.BarrierFast)
+	if fh := h.cfg.Faults; fh != nil && fh.AllocCost != nil {
+		if x := fh.AllocCost(); x > 0 {
+			// Injected cost inflation (a slow-allocation fault). Cost
+			// only: the clock is outside the oracle's semantic state.
+			h.clock.Advance(h.cfg.Costs.AllocByte * float64(size) * x)
+		}
+	}
 	h.chargePaging(size)
 
 	// The remset trigger preempts collections even before the heap
@@ -250,9 +264,19 @@ func (h *Heap) Alloc(t *heap.TypeDesc, length int) (heap.Addr, error) {
 			return heap.Nil, err
 		}
 	}
-	h.noteOOM(size)
-	return heap.Nil, &gc.OOMError{Requested: size, HeapBytes: h.cfg.HeapBytes,
-		Detail: fmt.Sprintf("%s: no progress after repeated collections", h.cfg.Name)}
+	if h.cfg.Degrade {
+		a, ok, err := h.rescueAlloc(size, func() (heap.Addr, bool) { return h.tryAlloc(size) })
+		if err != nil {
+			return heap.Nil, err
+		}
+		if ok {
+			h.serial++
+			h.space.Format(a, t, length, h.serial)
+			return a, nil
+		}
+	}
+	return heap.Nil, h.oomError(size,
+		fmt.Sprintf("%s: no progress after repeated collections", h.cfg.Name))
 }
 
 // chargePaging applies the cost model's paging term: once the mapped
@@ -294,7 +318,9 @@ func (h *Heap) tryAlloc(size int) (heap.Addr, bool) {
 		}
 		// Current frame exhausted (or no frame yet): extend the increment.
 		if !in.atCapacity() && h.freeBudgetFor(h.allocBelt) >= h.cfg.FrameBytes {
-			h.addFrame(in)
+			if !h.addFrame(in) {
+				return heap.Nil, false // injected map failure: treat as heap-full
+			}
 			return h.bump(in, size), true
 		}
 		if in.atCapacity() {
@@ -324,7 +350,12 @@ func (h *Heap) allocNewIncrement(belt *Belt, size int, bypassMax bool) (heap.Add
 		return heap.Nil, false
 	}
 	in := h.newIncrement(belt)
-	h.addFrame(in)
+	if !h.addFrame(in) {
+		// Injected map failure: roll the frameless increment back so the
+		// belt never holds an empty increment (seq gaps are fine).
+		belt.remove(in)
+		return heap.Nil, false
+	}
 	return h.bump(in, size), true
 }
 
@@ -355,10 +386,14 @@ func (h *Heap) newIncrement(belt *Belt) *Increment {
 }
 
 // addFrame maps a fresh frame for increment in and makes it the bump
-// target. Tail space in the previous frame is abandoned (and counted as
-// occupancy at frame granularity by the budget, as in a real VM).
-func (h *Heap) addFrame(in *Increment) {
-	f := h.space.MapFrame()
+// target, reporting false if the (fault-injectable) map failed. Tail
+// space in the previous frame is abandoned (and counted as occupancy at
+// frame granularity by the budget, as in a real VM).
+func (h *Heap) addFrame(in *Increment) bool {
+	f, ok := h.space.TryMapFrame()
+	if !ok {
+		return false
+	}
 	h.ensureFrameMeta(f)
 	belt := h.belts[in.belt]
 	h.stamp[f] = stampOf(belt.priority, in.seq)
@@ -376,6 +411,7 @@ func (h *Heap) addFrame(in *Increment) {
 		// the heap by a frame can grow the worst-case condemned set.
 		h.recomputeReserve()
 	}
+	return true
 }
 
 // bump performs the bump allocation inside the increment's open frame.

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 
-	"beltway/internal/gc"
 	"beltway/internal/heap"
 )
 
@@ -71,34 +70,8 @@ func (h *Heap) allocLOS(t *heap.TypeDesc, length, size int) (heap.Addr, error) {
 		maxAttempts += b.Len()
 	}
 	for attempt := 0; ; attempt++ {
-		if h.freeBudgetBytes() >= nFrames*h.cfg.FrameBytes {
-			f := h.space.MapSpan(nFrames)
-			last := f + heap.Frame(nFrames-1)
-			h.ensureFrameMeta(last)
-			obj := &losObject{addr: h.space.FrameBase(f), frames: nFrames, size: size}
-			if h.los.byFrame == nil {
-				h.los.byFrame = make(map[heap.Frame]*losObject)
-			}
-			for i := 0; i < nFrames; i++ {
-				fr := f + heap.Frame(i)
-				h.stamp[fr] = immortalStamp
-				h.immortal[fr] = true // boundary-barrier discipline: scanned, not remembered
-				h.fill[fr] = h.space.FrameLimit(fr)
-				h.los.byFrame[fr] = obj
-			}
-			// Only the first frame holds (the start of) the object; cap
-			// its fill so object walks stop at the object's end.
-			h.fill[f] = obj.addr + heap.Addr(size)
-			h.los.objects = append(h.los.objects, obj)
-			h.los.bytes += size
-			h.heapFrames += nFrames
-			h.clock.Advance(float64(nFrames) * h.cfg.Costs.FrameOp)
-			h.serial++
-			h.space.Format(obj.addr, t, length, h.serial)
-			if !h.inGC {
-				h.recomputeReserve()
-			}
-			return obj.addr, nil
+		if a, ok := h.tryAllocLOS(t, length, size, nFrames); ok {
+			return a, nil
 		}
 		if attempt >= maxAttempts {
 			break
@@ -107,9 +80,57 @@ func (h *Heap) allocLOS(t *heap.TypeDesc, length, size int) (heap.Addr, error) {
 			return heap.Nil, err
 		}
 	}
-	h.noteOOM(size)
-	return heap.Nil, &gc.OOMError{Requested: size, HeapBytes: h.cfg.HeapBytes,
-		Detail: fmt.Sprintf("%s: large object of %d frames found no space", h.cfg.Name, nFrames)}
+	if h.cfg.Degrade {
+		a, ok, err := h.rescueAlloc(size, func() (heap.Addr, bool) {
+			return h.tryAllocLOS(t, length, size, nFrames)
+		})
+		if err != nil {
+			return heap.Nil, err
+		}
+		if ok {
+			return a, nil
+		}
+	}
+	return heap.Nil, h.oomError(size,
+		fmt.Sprintf("%s: large object of %d frames found no space", h.cfg.Name, nFrames))
+}
+
+// tryAllocLOS maps and formats a large-object span without collecting,
+// reporting false when the budget (or an injected map fault) refuses.
+func (h *Heap) tryAllocLOS(t *heap.TypeDesc, length, size, nFrames int) (heap.Addr, bool) {
+	if h.freeBudgetBytes() < nFrames*h.cfg.FrameBytes {
+		return heap.Nil, false
+	}
+	f, ok := h.space.TryMapSpan(nFrames)
+	if !ok {
+		return heap.Nil, false // injected map failure: treat as heap-full
+	}
+	last := f + heap.Frame(nFrames-1)
+	h.ensureFrameMeta(last)
+	obj := &losObject{addr: h.space.FrameBase(f), frames: nFrames, size: size}
+	if h.los.byFrame == nil {
+		h.los.byFrame = make(map[heap.Frame]*losObject)
+	}
+	for i := 0; i < nFrames; i++ {
+		fr := f + heap.Frame(i)
+		h.stamp[fr] = immortalStamp
+		h.immortal[fr] = true // boundary-barrier discipline: scanned, not remembered
+		h.fill[fr] = h.space.FrameLimit(fr)
+		h.los.byFrame[fr] = obj
+	}
+	// Only the first frame holds (the start of) the object; cap
+	// its fill so object walks stop at the object's end.
+	h.fill[f] = obj.addr + heap.Addr(size)
+	h.los.objects = append(h.los.objects, obj)
+	h.los.bytes += size
+	h.heapFrames += nFrames
+	h.clock.Advance(float64(nFrames) * h.cfg.Costs.FrameOp)
+	h.serial++
+	h.space.Format(obj.addr, t, length, h.serial)
+	if !h.inGC {
+		h.recomputeReserve()
+	}
+	return obj.addr, true
 }
 
 // markLOS marks the large object containing a, queueing it for scanning

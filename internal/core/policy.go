@@ -21,11 +21,18 @@ func (h *Heap) nurseryMinBytes() int {
 func (h *Heap) collectForAlloc() error {
 	victims := h.chooseVictims()
 	if len(victims) == 0 {
-		h.noteOOM(0)
-		return &gc.OOMError{HeapBytes: h.cfg.HeapBytes,
-			Detail: h.cfg.Name + ": heap full with nothing collectible"}
+		// Nothing on the belts. Under the ladder an unswept LOS may
+		// still hold reclaimable bytes — an emergency (all-increments)
+		// collection is the only trigger that sweeps it on demand.
+		if h.cfg.Degrade && len(h.los.objects) > 0 {
+			return h.emergencyCollect()
+		}
+		return h.oomError(0, h.cfg.Name+": heap full with nothing collectible")
 	}
-	return h.collect(victims, gc.TriggerHeapFull)
+	if err := h.collect(victims, gc.TriggerHeapFull); err != nil {
+		return err
+	}
+	return h.settleDegradation()
 }
 
 // chooseVictims picks the condemned set for a heap-full collection.
@@ -42,6 +49,17 @@ func (h *Heap) collectForAlloc() error {
 // non-empty increment); condemn everything below it plus its oldest
 // increment.
 func (h *Heap) chooseVictims() []*Increment {
+	if h.deg.remsetOverflow {
+		// Dropped remembers make any incremental condemned set unsound —
+		// a live object could be reclaimed because the pointer to it was
+		// lost. Condemn everything until a full collection (plus the boot
+		// and LOS scans in collect) re-establishes the invariant.
+		var victims []*Increment
+		for _, b := range h.belts {
+			victims = append(victims, b.incrs...)
+		}
+		return victims
+	}
 	if h.cfg.OlderFirst {
 		return h.chooseVictimsOF()
 	}
@@ -180,6 +198,11 @@ func (h *Heap) flipBelts() {
 // though the heap is not full. Returns true if a collection ran.
 func (h *Heap) pollRemsetTrigger() (bool, error) {
 	th := h.cfg.RemsetThreshold
+	if h.deg.remsetOverflow {
+		// Entry counts are meaningless while inserts have been dropped,
+		// and every collection condemns everything anyway.
+		return false, nil
+	}
 	if th <= 0 || h.rems.TotalEntries() <= th {
 		return false, nil
 	}
@@ -200,7 +223,7 @@ func (h *Heap) pollRemsetTrigger() (bool, error) {
 			if err := h.collect(victims, gc.TriggerRemset); err != nil {
 				return true, err
 			}
-			return true, nil
+			return true, h.settleDegradation()
 		}
 	}
 	return false, nil
@@ -221,11 +244,17 @@ func (h *Heap) Collect(full bool) error {
 		}
 		// An empty condemned set is still a valid full collection when
 		// large objects exist: the trace marks and the sweep reclaims.
-		return h.collect(victims, gc.TriggerForcedFull)
+		if err := h.collect(victims, gc.TriggerForcedFull); err != nil {
+			return err
+		}
+		return h.settleDegradation()
 	}
 	victims := h.chooseVictims()
 	if len(victims) == 0 {
 		return nil // nothing collectible: a forced collection is a no-op
 	}
-	return h.collect(victims, gc.TriggerForced)
+	if err := h.collect(victims, gc.TriggerForced); err != nil {
+		return err
+	}
+	return h.settleDegradation()
 }

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 
-	"beltway/internal/gc"
 	"beltway/internal/heap"
 )
 
@@ -62,9 +61,19 @@ func (h *Heap) AllocPretenured(t *heap.TypeDesc, length int) (heap.Addr, error) 
 			return heap.Nil, err
 		}
 	}
-	h.noteOOM(size)
-	return heap.Nil, &gc.OOMError{Requested: size, HeapBytes: h.cfg.HeapBytes,
-		Detail: fmt.Sprintf("%s: pretenured allocation found no space", h.cfg.Name)}
+	if h.cfg.Degrade {
+		a, ok, err := h.rescueAlloc(size, func() (heap.Addr, bool) { return h.tryAllocPretenured(bi, size) })
+		if err != nil {
+			return heap.Nil, err
+		}
+		if ok {
+			h.serial++
+			h.space.Format(a, t, length, h.serial)
+			return a, nil
+		}
+	}
+	return heap.Nil, h.oomError(size,
+		fmt.Sprintf("%s: pretenured allocation found no space", h.cfg.Name))
 }
 
 // tryAllocPretenured bump-allocates into belt bi's youngest increment
@@ -87,7 +96,9 @@ func (h *Heap) tryAllocPretenured(bi, size int) (heap.Addr, bool) {
 			return h.bump(in, size), true
 		}
 		if !in.atCapacity() && h.freeBudgetFor(bi) >= h.cfg.FrameBytes {
-			h.addFrame(in)
+			if !h.addFrame(in) {
+				return heap.Nil, false // injected map failure: treat as heap-full
+			}
 			return h.bump(in, size), true
 		}
 	}
@@ -107,10 +118,19 @@ func (h *Heap) tryAllocPretenured(bi, size int) (heap.Addr, bool) {
 		} else {
 			car = h.newTrain()
 		}
-		h.addFrame(car)
+		if !h.addFrame(car) {
+			// Roll the frameless car back; MOS seq numbers are dense, so
+			// removal renumbers the belt.
+			h.belts[car.belt].remove(car)
+			h.renumberMOS()
+			return heap.Nil, false
+		}
 		return h.bump(car, size), true
 	}
 	in = h.newIncrement(belt)
-	h.addFrame(in)
+	if !h.addFrame(in) {
+		belt.remove(in)
+		return heap.Nil, false
+	}
 	return h.bump(in, size), true
 }

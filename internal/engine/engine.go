@@ -90,10 +90,17 @@ type Record struct {
 	Error      string          `json:"error,omitempty"`
 	DurationMS float64         `json:"duration_ms"`
 	Payload    json.RawMessage `json:"payload,omitempty"`
+	// Attempts counts executions when the transient-retry policy re-ran
+	// the job (0 or absent: the first execution stood).
+	Attempts int `json:"attempts,omitempty"`
 
 	// Resumed marks records satisfied from the checkpoint rather than
 	// executed; it is process-local and not serialized.
 	Resumed bool `json:"-"`
+
+	// Err preserves the job's error value (Error is its string form) so
+	// the retry policy can inspect it; process-local, never serialized.
+	Err error `json:"-"`
 }
 
 // Config parameterizes an Engine.
@@ -107,6 +114,13 @@ type Config struct {
 	Resume bool
 	// Timeout is the per-job wall-clock budget; 0 means none.
 	Timeout time.Duration
+	// Retries bounds additional executions of a job whose error is marked
+	// transient (MarkTransient); 0 disables retrying. Panics and timeouts
+	// are never retried — they are not transient by definition.
+	Retries int
+	// RetryBackoff is the sleep before the first retry, doubling per
+	// subsequent attempt; 0 retries immediately.
+	RetryBackoff time.Duration
 	// Progress, if non-nil, receives one line per job completion.
 	Progress func(string)
 	// OnRecord, if non-nil, receives every record as it settles — freshly
@@ -139,7 +153,9 @@ func New(cfg Config) *Engine {
 // Reporter returns the engine's progress reporter.
 func (e *Engine) Reporter() *Reporter { return e.rep }
 
-// Close releases the checkpoint file, if any.
+// Close syncs and releases the checkpoint file, if any. The sync makes
+// the final flush crash-safe: every record committed before Close
+// returns is durable, not sitting in a kernel buffer.
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -148,7 +164,23 @@ func (e *Engine) Close() error {
 	}
 	f := e.file
 	e.file = nil
-	return f.Close()
+	serr := f.Sync()
+	cerr := f.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// Sync flushes the checkpoint file to stable storage without closing it.
+// No-op when checkpointing is disabled or the file is already closed.
+func (e *Engine) Sync() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.file == nil {
+		return nil
+	}
+	return e.file.Sync()
 }
 
 func (e *Engine) init() error {
@@ -256,7 +288,7 @@ func (e *Engine) Run(jobs []Job) ([]Record, error) {
 					}
 					continue
 				}
-				rec := e.execute(j)
+				rec := e.executeWithRetry(j)
 				if err := e.commit(rec); err != nil {
 					errOnce.Do(func() { runErr = err })
 				}
@@ -288,7 +320,7 @@ func (e *Engine) execute(j Job) Record {
 		}()
 		payload, out, err := j.Run()
 		if err != nil {
-			done <- Record{Key: j.Key, Outcome: Errored, Error: err.Error()}
+			done <- Record{Key: j.Key, Outcome: Errored, Error: err.Error(), Err: err}
 			return
 		}
 		if out == "" {

@@ -1,0 +1,63 @@
+package engine
+
+import (
+	"os"
+	"os/signal"
+	"sync"
+)
+
+// raiseSignal re-delivers a signal to the current process with default
+// disposition (the handler has already called signal.Stop), so the
+// process exits with the conventional signal status. A variable so tests
+// can intercept the re-raise instead of dying.
+var raiseSignal = func(sig os.Signal) {
+	if p, err := os.FindProcess(os.Getpid()); err == nil {
+		p.Signal(sig)
+	}
+}
+
+// FlushOnSignal makes shutdown crash-safe: on the first of sigs
+// (typically SIGINT and SIGTERM) it syncs and closes the checkpoint
+// file — so every record committed so far survives the kill — then
+// re-raises the signal under the default disposition. In-flight jobs are
+// abandoned; their keys have no completed record, so a resumed run
+// re-executes exactly them.
+//
+// Signals that were ignored when the process started (nohup, shell
+// background jobs get SIGINT ignored) stay ignored: intercepting one
+// would close the checkpoint and then fail to die — the restored
+// disposition discards the re-raise — leaving the sweep running with
+// checkpointing silently disabled.
+//
+// The returned stop function uninstalls the handler (idempotent); call
+// it once the sweep has shut down normally.
+func (e *Engine) FlushOnSignal(sigs ...os.Signal) (stop func()) {
+	handled := make([]os.Signal, 0, len(sigs))
+	for _, sig := range sigs {
+		if !signal.Ignored(sig) {
+			handled = append(handled, sig)
+		}
+	}
+	if len(handled) == 0 {
+		return func() {} // Notify with no signals would mean "all signals"
+	}
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, handled...)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case sig := <-ch:
+			e.Close() // Close syncs before releasing the file
+			signal.Stop(ch)
+			raiseSignal(sig)
+		case <-done:
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			signal.Stop(ch)
+			close(done)
+		})
+	}
+}

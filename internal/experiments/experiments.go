@@ -115,6 +115,10 @@ func New(opts Opts) *Suite {
 // Env returns the suite's environment.
 func (s *Suite) Env() harness.Env { return s.opts.Env }
 
+// Engine returns the suite's execution engine, so callers can wire
+// crash-safe shutdown (engine.FlushOnSignal) around a checkpointed sweep.
+func (s *Suite) Engine() *engine.Engine { return s.exec.Engine() }
+
 // Progress returns a snapshot of the engine's progress (jobs done/total,
 // failures, ETA).
 func (s *Suite) Progress() engine.Progress { return s.exec.Engine().Reporter().Snapshot() }

@@ -1,0 +1,39 @@
+package gc
+
+// FaultHooks are deterministic fault-injection points threaded through
+// the substrate and the collectors (see internal/resilience for the
+// seed-driven scheduler that implements them). Every hook is consulted
+// at one well-defined call site class; returning the "veto" value makes
+// that call fail as if the underlying resource were exhausted. All
+// fields may be nil (never consulted); a nil *FaultHooks disables
+// injection entirely, and the collectors nil-guard every consultation so
+// the fault-free hot paths stay allocation- and branch-cheap.
+//
+// Faults are infrastructure failures, not semantic ones: a collector
+// absorbing an injected fault (by retrying, degrading, or collecting
+// harder) must leave every mutator-observable outcome — the live graph,
+// the allocation-serial stream, the OOM verdict — unchanged. The chaos
+// mode of the differential oracle (internal/check.RunScriptChaos)
+// asserts exactly that.
+type FaultHooks struct {
+	// MapFrame gates collectible frame maps (heap.Space.TryMapFrame /
+	// TryMapSpan). Returning false fails this map; mutator paths treat
+	// it as heap-full and collect, GC paths retry.
+	MapFrame func() bool
+
+	// ReserveGrant gates copy-reserve frame grants during collection.
+	// Returning false simulates a transient mid-GC reservation failure.
+	ReserveGrant func() bool
+
+	// AllocCost returns an extra cost-multiplier for the current
+	// allocation (0 for none): the allocation's byte cost is additionally
+	// advanced by AllocByte*size*factor. Cost-only — excluded from the
+	// oracle's semantic equivalence like all clock effects.
+	AllocCost func() float64
+
+	// RemsetInsert gates mutator-barrier remembered-set inserts.
+	// Returning false drops the remember, simulating a capped remset;
+	// the collector must then repair soundness by condemning every
+	// increment (and scanning the boot image/LOS) at the next collection.
+	RemsetInsert func() bool
+}

@@ -21,6 +21,10 @@ const (
 	// TriggerForcedFull: an explicit Collect(true) call condemning the
 	// whole heap.
 	TriggerForcedFull
+	// TriggerEmergency: the graceful-degradation ladder condemned every
+	// collectible increment as a last resort before surfacing an OOM —
+	// the X.X -> X.X.100 completeness fallback.
+	TriggerEmergency
 )
 
 func (t TriggerKind) String() string {
@@ -33,6 +37,8 @@ func (t TriggerKind) String() string {
 		return "forced"
 	case TriggerForcedFull:
 		return "forced-full"
+	case TriggerEmergency:
+		return "emergency"
 	default:
 		return "unknown"
 	}
@@ -96,6 +102,57 @@ type BeltStat struct {
 	Frames     int
 }
 
+// DegradeStep identifies one rung of the graceful-degradation ladder.
+type DegradeStep uint8
+
+const (
+	// DegradeEmergencyGC: an emergency full-heap collection ran (every
+	// collectible increment condemned) before declaring OOM.
+	DegradeEmergencyGC DegradeStep = iota + 1
+	// DegradeRetryAverted: the allocation that exhausted the heap
+	// succeeded on retry after the emergency collection — the OOM was
+	// averted.
+	DegradeRetryAverted
+	// DegradeReserveRetry: an injected copy-reserve failure was absorbed
+	// by retrying the grant.
+	DegradeReserveRetry
+	// DegradeOverdraft: the copy reserve was exhausted mid-collection and
+	// the collector mapped a frame beyond its cap (settled by an
+	// emergency collection at the next safe point).
+	DegradeOverdraft
+	// DegradeRemsetOverflow: a remembered-set insert was dropped (capped
+	// remset); every later collection condemns all increments and scans
+	// the boot image until the invariant is re-established.
+	DegradeRemsetOverflow
+)
+
+func (s DegradeStep) String() string {
+	switch s {
+	case DegradeEmergencyGC:
+		return "emergency-collection"
+	case DegradeRetryAverted:
+		return "retry-averted"
+	case DegradeReserveRetry:
+		return "reserve-retry"
+	case DegradeOverdraft:
+		return "reserve-overdraft"
+	case DegradeRemsetOverflow:
+		return "remset-overflow"
+	default:
+		return "unknown"
+	}
+}
+
+// DegradeInfo describes one degradation-ladder step as it happens.
+type DegradeInfo struct {
+	Step DegradeStep
+	// Requested is the allocation size that triggered the ladder (0 for
+	// mid-collection steps).
+	Requested int
+	// HeapBytes is the configured heap budget.
+	HeapBytes int
+}
+
 // Hooks are optional collector callbacks, used by the validator and by
 // the telemetry subsystem. All fields may be nil; the zero value is a
 // valid no-op set. Hook implementations must not mutate the heap and
@@ -129,6 +186,10 @@ type Hooks struct {
 	// OOM runs when the collector gives up on an allocation (or exhausts
 	// the copy reserve mid-collection; requested is 0 in that case).
 	OOM func(requested, heapBytes int)
+	// Degraded runs for every graceful-degradation ladder step the
+	// collector takes (emergency collection, reserve retry, overdraft,
+	// remset overflow) before — and hopefully instead of — an OOM.
+	Degraded func(DegradeInfo)
 }
 
 // Merge composes two hook sets: each callback invokes h's hook, then
@@ -145,6 +206,7 @@ func (h Hooks) Merge(o Hooks) Hooks {
 		Occupancy: merge1(h.Occupancy, o.Occupancy),
 		Flip:      mergeII(h.Flip, o.Flip),
 		OOM:       mergeII(h.OOM, o.OOM),
+		Degraded:  merge1(h.Degraded, o.Degraded),
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"beltway/internal/gc"
 	"beltway/internal/heap"
 	"beltway/internal/mmu"
+	"beltway/internal/resilience"
 	"beltway/internal/stats"
 	"beltway/internal/telemetry"
 	"beltway/internal/workload"
@@ -37,6 +38,15 @@ type Env struct {
 	// observes the clock without advancing it, so enabling it changes no
 	// measurement.
 	Telemetry bool `json:",omitempty"`
+	// Degrade enables the graceful-degradation ladder (core.Config.Degrade)
+	// on every configuration: emergency full-heap collection and one retry
+	// before any allocation surfaces OOM.
+	Degrade bool `json:",omitempty"`
+	// FaultSeed, when non-zero, runs every configuration under a
+	// deterministic fault-injection schedule derived from this seed
+	// (resilience.NewSchedule with the default horizon). Chaos testing
+	// only; leave zero for measurements.
+	FaultSeed int64 `json:",omitempty"`
 }
 
 // DefaultEnv mirrors the paper's testbed at scale 1: see EnvForScale.
@@ -137,17 +147,25 @@ func (r *Result) MMU(points int) mmu.Curve {
 // and a cost-budget abort via Result.Aborted; errors are reserved for
 // misconfiguration.
 func RunOne(cfg core.Config, bench *workload.Benchmark, env Env) (res *Result, err error) {
+	if env.Degrade {
+		cfg.Degrade = true
+	}
+	if env.FaultSeed != 0 && cfg.Faults == nil {
+		sched := resilience.NewSchedule(env.FaultSeed, resilience.DefaultHorizon)
+		cfg.Faults = resilience.NewInjector(sched).Hooks()
+	}
 	types := heap.NewRegistry()
 	h, herr := core.New(cfg, types)
 	if herr != nil {
 		return nil, fmt.Errorf("harness: %s on %s: %w", cfg.Name, bench.Name, herr)
 	}
 	h.Clock().Budget = env.CostBudget
-	var tele *telemetry.Run
-	if env.Telemetry {
-		tele = telemetry.NewRun(h.Clock())
-		h.SetHooks(tele.Hooks())
-	}
+	// The flight recorder is always attached (hook emission reads the
+	// clock without advancing it, so this changes no measurement): a
+	// panicking run needs its event tail for the corruption report even
+	// when Env.Telemetry is off.
+	tele := telemetry.NewRun(h.Clock())
+	h.SetHooks(tele.Hooks())
 	snapshot := func() *Result {
 		res := &Result{
 			Collector:   cfg.Name,
@@ -160,19 +178,29 @@ func RunOne(cfg core.Config, bench *workload.Benchmark, env Env) (res *Result, e
 			Counters:    h.Clock().Counters,
 			Collections: h.Collections(),
 		}
-		if tele != nil {
+		if env.Telemetry {
 			res.Telemetry = tele.Snapshot()
 		}
 		return res
 	}
 	defer func() {
 		if r := recover(); r != nil {
-			if _, ok := r.(stats.BudgetExceeded); !ok {
-				panic(r)
+			if _, ok := r.(stats.BudgetExceeded); ok {
+				res = snapshot()
+				res.Aborted = true
+				err = nil
+				return
 			}
-			res = snapshot()
-			res.Aborted = true
-			err = nil
+			// Any other panic out of the heap or vm is a corruption: the
+			// run's state is untrustworthy, so no Result — a typed error
+			// carrying the panic and the flight-recorder tail instead.
+			res = nil
+			err = &HeapCorruptionError{
+				Collector: cfg.Name,
+				Benchmark: bench.Name,
+				Panic:     r,
+				Events:    tele.Recorder().Last(corruptionEventTail),
+			}
 		}
 	}()
 	params := workload.Params{Scale: env.Scale, Seed: env.Seed, Pretenure: env.Pretenure}

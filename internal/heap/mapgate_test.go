@@ -1,0 +1,84 @@
+package heap
+
+import "testing"
+
+func TestTryMapFrameGate(t *testing.T) {
+	s := testSpace(t)
+
+	// No gate: behaves like MapFrame.
+	f, ok := s.TryMapFrame()
+	if !ok || f == NoFrame {
+		t.Fatalf("ungated TryMapFrame = (%d, %v), want mapped frame", f, ok)
+	}
+	if s.MappedFrames() != 1 {
+		t.Fatalf("MappedFrames = %d, want 1", s.MappedFrames())
+	}
+
+	// Vetoing gate: map fails with no side effects.
+	calls := 0
+	s.MapGate = func() bool { calls++; return false }
+	if f, ok := s.TryMapFrame(); ok {
+		t.Fatalf("vetoed TryMapFrame = (%d, true), want failure", f)
+	}
+	if calls != 1 {
+		t.Fatalf("gate consulted %d times, want 1", calls)
+	}
+	if s.MappedFrames() != 1 {
+		t.Fatalf("vetoed map changed MappedFrames to %d", s.MappedFrames())
+	}
+
+	// Passing gate: map succeeds again.
+	s.MapGate = func() bool { return true }
+	if _, ok := s.TryMapFrame(); !ok {
+		t.Fatal("passing gate vetoed the map")
+	}
+	if s.MappedFrames() != 2 {
+		t.Fatalf("MappedFrames = %d, want 2", s.MappedFrames())
+	}
+}
+
+func TestTryMapSpanGate(t *testing.T) {
+	s := testSpace(t)
+	calls := 0
+	s.MapGate = func() bool { calls++; return calls > 1 }
+
+	if f, ok := s.TryMapSpan(3); ok {
+		t.Fatalf("vetoed TryMapSpan = (%d, true), want failure", f)
+	}
+	if s.MappedFrames() != 0 {
+		t.Fatalf("vetoed span mapped %d frames", s.MappedFrames())
+	}
+
+	f, ok := s.TryMapSpan(3)
+	if !ok {
+		t.Fatal("passing gate vetoed the span")
+	}
+	// One gate consultation per span, not per frame.
+	if calls != 2 {
+		t.Fatalf("gate consulted %d times for 2 spans, want 2", calls)
+	}
+	if s.MappedFrames() != 3 {
+		t.Fatalf("MappedFrames = %d, want 3", s.MappedFrames())
+	}
+	for i := 0; i < 3; i++ {
+		if !s.Mapped(f + Frame(i)) {
+			t.Errorf("span frame %d not mapped", f+Frame(i))
+		}
+	}
+}
+
+// MapFrame and MapSpan must ignore the gate: boot-image maps are
+// must-succeed and never fault-injected.
+func TestMapFrameIgnoresGate(t *testing.T) {
+	s := testSpace(t)
+	s.MapGate = func() bool { return false }
+	if f := s.MapFrame(); f == NoFrame {
+		t.Fatal("MapFrame consulted the gate")
+	}
+	if f := s.MapSpan(2); f == NoFrame {
+		t.Fatal("MapSpan consulted the gate")
+	}
+	if s.MappedFrames() != 3 {
+		t.Fatalf("MappedFrames = %d, want 3", s.MappedFrames())
+	}
+}

@@ -1,0 +1,35 @@
+package resilience
+
+import "testing"
+
+// FuzzSchedule checks that every (seed, horizon) pair yields a schedule
+// satisfying the invariants the chaos oracle depends on, and that an
+// injector replaying it fires deterministically.
+func FuzzSchedule(f *testing.F) {
+	f.Add(int64(1), 4096)
+	f.Add(int64(-9), 0)
+	f.Add(int64(1<<50), 1<<16)
+	f.Fuzz(func(t *testing.T, seed int64, horizon int) {
+		if horizon > 1<<22 { // keep ordinal generation bounded
+			horizon %= 1 << 22
+		}
+		s := NewSchedule(seed, horizon)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("NewSchedule(%d, %d): %v", seed, horizon, err)
+		}
+		run := func() int {
+			in := NewInjector(s)
+			h := in.Hooks()
+			for i := 0; i < 200; i++ {
+				h.MapFrame()
+				h.ReserveGrant()
+				h.AllocCost()
+				h.RemsetInsert()
+			}
+			return in.TotalFired()
+		}
+		if a, b := run(), run(); a != b {
+			t.Fatalf("replay fired %d then %d faults", a, b)
+		}
+	})
+}

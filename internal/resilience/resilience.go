@@ -1,0 +1,190 @@
+// Package resilience provides deterministic, seed-driven fault injection
+// for the collectors. A Schedule fixes, per fault kind, the exact call
+// ordinals at which that fault fires; an Injector counts the calls and
+// vetoes exactly those ordinals via gc.FaultHooks. Two runs with the
+// same schedule see byte-identical fault timing, which is what lets the
+// chaos mode of the differential oracle (internal/check) assert that
+// degraded execution preserves semantics: the faults are part of the
+// reproducible experiment, not noise.
+package resilience
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"beltway/internal/gc"
+)
+
+// Kind enumerates the injectable fault classes, one per gc.FaultHooks
+// field.
+type Kind uint8
+
+const (
+	// MapFrame fails a collectible frame map (heap.Space.TryMapFrame /
+	// TryMapSpan).
+	MapFrame Kind = iota
+	// ReserveGrant fails a copy-reserve frame grant mid-collection.
+	ReserveGrant
+	// AllocCost inflates one allocation's cost by the schedule's factor.
+	AllocCost
+	// RemsetInsert drops one mutator-barrier remembered-set insert.
+	RemsetInsert
+
+	numKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case MapFrame:
+		return "map-frame"
+	case ReserveGrant:
+		return "reserve-grant"
+	case AllocCost:
+		return "alloc-cost"
+	case RemsetInsert:
+		return "remset-insert"
+	default:
+		return "unknown"
+	}
+}
+
+// MinGap is the smallest distance between two same-kind fire ordinals in
+// any generated schedule. It guarantees that a collector absorbing a
+// fault with one bounded retry (the degradation ladder retries a vetoed
+// reserve grant exactly once) never hits a second injected fault on the
+// retry itself.
+const MinGap = 8
+
+// DefaultHorizon is the schedule horizon callers use when they have no
+// better estimate of a run's per-kind call volume: dense enough (one
+// fault per ~256 calls) that short runs still see several faults of
+// every kind, sparse enough that long runs aren't dominated by them.
+const DefaultHorizon = 1 << 14
+
+// Schedule is a deterministic fault plan: for each kind, the strictly
+// increasing 1-based call ordinals at which that fault fires, plus the
+// cost factor applied by AllocCost faults.
+type Schedule struct {
+	Seed       int64
+	Ordinals   [numKinds][]uint64
+	CostFactor float64
+}
+
+// NewSchedule derives a schedule from seed, spreading max(4, horizon/256)
+// fire ordinals per kind across roughly the first horizon calls of that
+// kind. Consecutive same-kind ordinals are at least MinGap apart.
+func NewSchedule(seed int64, horizon int) *Schedule {
+	if horizon < 1 {
+		horizon = 1
+	}
+	n := horizon / 256
+	if n < 4 {
+		n = 4
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := &Schedule{Seed: seed, CostFactor: 1 + 7*rng.Float64()}
+	spread := horizon / n
+	if spread < MinGap {
+		spread = MinGap
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		ords := make([]uint64, 0, n)
+		ord := uint64(0)
+		for i := 0; i < n; i++ {
+			ord += uint64(MinGap + rng.Intn(spread))
+			ords = append(ords, ord)
+		}
+		s.Ordinals[k] = ords
+	}
+	return s
+}
+
+// Validate checks the schedule invariants the injector and the chaos
+// oracle rely on: per-kind ordinals strictly increasing, all ≥ 1, and
+// consecutive same-kind ordinals at least MinGap apart.
+func (s *Schedule) Validate() error {
+	for k := Kind(0); k < numKinds; k++ {
+		ords := s.Ordinals[k]
+		if !sort.SliceIsSorted(ords, func(i, j int) bool { return ords[i] < ords[j] }) {
+			return fmt.Errorf("resilience: %v ordinals not sorted", k)
+		}
+		for i, o := range ords {
+			if o < 1 {
+				return fmt.Errorf("resilience: %v ordinal %d < 1", k, o)
+			}
+			if i > 0 && o-ords[i-1] < MinGap {
+				return fmt.Errorf("resilience: %v ordinals %d,%d closer than MinGap=%d",
+					k, ords[i-1], o, MinGap)
+			}
+		}
+	}
+	return nil
+}
+
+// FiredFault records one injected fault for diagnostics.
+type FiredFault struct {
+	Kind    Kind
+	Ordinal uint64
+}
+
+// Injector executes a Schedule: it counts calls per kind and fires the
+// scheduled ordinals. An Injector is single-run state — build a fresh one
+// (over the same Schedule) for every replay so counting restarts at zero.
+// Not safe for concurrent use; each run owns its injector.
+type Injector struct {
+	sched *Schedule
+	calls [numKinds]uint64
+	next  [numKinds]int
+	fired []FiredFault
+}
+
+// NewInjector returns an injector over s, which must be non-nil.
+func NewInjector(s *Schedule) *Injector {
+	if s == nil {
+		panic("resilience: NewInjector with nil schedule")
+	}
+	return &Injector{sched: s}
+}
+
+// fire advances kind k's call counter and reports whether this ordinal is
+// scheduled to fault.
+func (in *Injector) fire(k Kind) bool {
+	in.calls[k]++
+	ords := in.sched.Ordinals[k]
+	if i := in.next[k]; i < len(ords) && in.calls[k] == ords[i] {
+		in.next[k]++
+		in.fired = append(in.fired, FiredFault{Kind: k, Ordinal: ords[i]})
+		return true
+	}
+	return false
+}
+
+// Calls returns how many times kind k's injection point has been
+// consulted.
+func (in *Injector) Calls(k Kind) uint64 { return in.calls[k] }
+
+// TotalFired returns the number of faults injected so far.
+func (in *Injector) TotalFired() int { return len(in.fired) }
+
+// Fired returns the injected-fault log, oldest first. The returned slice
+// is the injector's own; callers must not mutate it.
+func (in *Injector) Fired() []FiredFault { return in.fired }
+
+// Hooks adapts the injector to the collector-facing gc.FaultHooks
+// contract: gate hooks return false (veto) on scheduled ordinals,
+// AllocCost returns the schedule's cost factor on its ordinals and 0
+// otherwise.
+func (in *Injector) Hooks() *gc.FaultHooks {
+	return &gc.FaultHooks{
+		MapFrame:     func() bool { return !in.fire(MapFrame) },
+		ReserveGrant: func() bool { return !in.fire(ReserveGrant) },
+		AllocCost: func() float64 {
+			if in.fire(AllocCost) {
+				return in.sched.CostFactor
+			}
+			return 0
+		},
+		RemsetInsert: func() bool { return !in.fire(RemsetInsert) },
+	}
+}

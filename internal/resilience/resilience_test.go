@@ -1,0 +1,141 @@
+package resilience
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestScheduleDeterministic(t *testing.T) {
+	a := NewSchedule(42, 4096)
+	b := NewSchedule(42, 4096)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	c := NewSchedule(43, 4096)
+	if reflect.DeepEqual(a.Ordinals, c.Ordinals) {
+		t.Fatal("different seeds produced identical ordinals")
+	}
+}
+
+func TestScheduleInvariants(t *testing.T) {
+	for _, seed := range []int64{0, 1, -7, 1 << 40} {
+		for _, horizon := range []int{0, 1, 256, 4096, 1 << 20} {
+			s := NewSchedule(seed, horizon)
+			if err := s.Validate(); err != nil {
+				t.Errorf("seed=%d horizon=%d: %v", seed, horizon, err)
+			}
+			want := horizon / 256
+			if want < 4 {
+				want = 4
+			}
+			for k := Kind(0); k < numKinds; k++ {
+				if got := len(s.Ordinals[k]); got != want {
+					t.Errorf("seed=%d horizon=%d kind=%v: %d ordinals, want %d",
+						seed, horizon, k, got, want)
+				}
+			}
+			if s.CostFactor < 1 || s.CostFactor > 8 {
+				t.Errorf("seed=%d: CostFactor %v outside [1,8]", seed, s.CostFactor)
+			}
+		}
+	}
+}
+
+func TestValidateRejectsBadSchedules(t *testing.T) {
+	bad := NewSchedule(1, 256)
+	bad.Ordinals[MapFrame] = []uint64{10, 9}
+	if bad.Validate() == nil {
+		t.Error("unsorted ordinals passed Validate")
+	}
+	bad = NewSchedule(1, 256)
+	bad.Ordinals[ReserveGrant] = []uint64{8, 8 + MinGap - 1}
+	if bad.Validate() == nil {
+		t.Error("sub-MinGap gap passed Validate")
+	}
+	bad = NewSchedule(1, 256)
+	bad.Ordinals[AllocCost] = []uint64{0}
+	if bad.Validate() == nil {
+		t.Error("ordinal 0 passed Validate")
+	}
+}
+
+func TestInjectorFiresExactOrdinals(t *testing.T) {
+	s := &Schedule{Seed: 1, CostFactor: 3}
+	s.Ordinals[MapFrame] = []uint64{2, 10}
+	s.Ordinals[AllocCost] = []uint64{1}
+	in := NewInjector(s)
+	h := in.Hooks()
+
+	for call := uint64(1); call <= 12; call++ {
+		ok := h.MapFrame()
+		wantVeto := call == 2 || call == 10
+		if ok == wantVeto {
+			t.Errorf("MapFrame call %d: ok=%v, want veto=%v", call, ok, wantVeto)
+		}
+	}
+	if got := h.AllocCost(); got != 3 {
+		t.Errorf("AllocCost call 1 = %v, want CostFactor 3", got)
+	}
+	if got := h.AllocCost(); got != 0 {
+		t.Errorf("AllocCost call 2 = %v, want 0", got)
+	}
+	// Unscheduled kinds never fire.
+	for i := 0; i < 100; i++ {
+		if !h.RemsetInsert() {
+			t.Fatal("RemsetInsert fired with no scheduled ordinals")
+		}
+	}
+
+	if in.TotalFired() != 3 {
+		t.Errorf("TotalFired = %d, want 3", in.TotalFired())
+	}
+	want := []FiredFault{
+		{MapFrame, 2},
+		{MapFrame, 10},
+		{AllocCost, 1},
+	}
+	// Fired log is append-ordered by fire time; MapFrame calls all
+	// happened before the AllocCost calls above.
+	if !reflect.DeepEqual(in.Fired(), want) {
+		t.Errorf("Fired = %v, want %v", in.Fired(), want)
+	}
+	if in.Calls(MapFrame) != 12 || in.Calls(RemsetInsert) != 100 {
+		t.Errorf("Calls = %d/%d, want 12/100", in.Calls(MapFrame), in.Calls(RemsetInsert))
+	}
+}
+
+func TestInjectorReplayDeterminism(t *testing.T) {
+	s := NewSchedule(7, 2048)
+	run := func() []FiredFault {
+		in := NewInjector(s)
+		h := in.Hooks()
+		for i := 0; i < 500; i++ {
+			h.MapFrame()
+			h.ReserveGrant()
+			h.AllocCost()
+			h.RemsetInsert()
+		}
+		return in.Fired()
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("no faults fired in 500 calls per kind")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("fresh injectors over the same schedule fired differently")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		MapFrame:     "map-frame",
+		ReserveGrant: "reserve-grant",
+		AllocCost:    "alloc-cost",
+		RemsetInsert: "remset-insert",
+		numKinds:     "unknown",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}

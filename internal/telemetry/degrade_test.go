@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"beltway/internal/gc"
+)
+
+func TestDegradedHookCountersAndEvents(t *testing.T) {
+	r := NewRun(nil)
+	hooks := r.Hooks()
+
+	hooks.Degraded(gc.DegradeInfo{Step: gc.DegradeEmergencyGC, HeapBytes: 1 << 16})
+	hooks.Degraded(gc.DegradeInfo{Step: gc.DegradeEmergencyGC, HeapBytes: 1 << 16})
+	hooks.Degraded(gc.DegradeInfo{Step: gc.DegradeRetryAverted, Requested: 28, HeapBytes: 1 << 16})
+	hooks.Degraded(gc.DegradeInfo{Step: gc.DegradeReserveRetry, HeapBytes: 1 << 16})
+
+	snap := r.Registry().Snapshot()
+	if got := snap.Counters[MetricEmergencyCollections]; got != 2 {
+		t.Errorf("%s = %d, want 2", MetricEmergencyCollections, got)
+	}
+	if got := snap.Counters[MetricDegradedAverted]; got != 1 {
+		t.Errorf("%s = %d, want 1", MetricDegradedAverted, got)
+	}
+
+	ev := r.Recorder().Events()
+	if len(ev) != 4 {
+		t.Fatalf("recorded %d events, want 4 (one per ladder step)", len(ev))
+	}
+	for i, want := range []gc.DegradeStep{
+		gc.DegradeEmergencyGC, gc.DegradeEmergencyGC, gc.DegradeRetryAverted, gc.DegradeReserveRetry,
+	} {
+		e := ev[i]
+		if e.Kind != EvDegrade {
+			t.Fatalf("event %d kind = %v, want EvDegrade", i, e.Kind)
+		}
+		if gc.DegradeStep(e.A) != want {
+			t.Errorf("event %d step = %d, want %v", i, e.A, want)
+		}
+		if e.C != 1<<16 {
+			t.Errorf("event %d heap bytes = %d, want %d", i, e.C, 1<<16)
+		}
+	}
+	if got := ev[2].B; got != 28 {
+		t.Errorf("retry-averted event requested = %d, want 28", got)
+	}
+	if s := ev[0].String(); !strings.Contains(s, "degrade step=emergency-collection") {
+		t.Errorf("EvDegrade String = %q, want a readable step name", s)
+	}
+}
+
+func TestDegradeMetricsExport(t *testing.T) {
+	r := NewRun(nil)
+	hooks := r.Hooks()
+	hooks.Degraded(gc.DegradeInfo{Step: gc.DegradeEmergencyGC})
+	hooks.Degraded(gc.DegradeInfo{Step: gc.DegradeRetryAverted})
+
+	var buf bytes.Buffer
+	if err := r.Registry().WritePrometheus(&buf, `collector="XX"`); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, name := range []string{MetricEmergencyCollections, MetricDegradedAverted} {
+		if !strings.Contains(text, name+`{collector="XX"} 1`) {
+			t.Errorf("Prometheus output missing %s sample:\n%s", name, text)
+		}
+	}
+
+	raw, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back RunSnapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Metrics.Counters[MetricEmergencyCollections] != 1 ||
+		back.Metrics.Counters[MetricDegradedAverted] != 1 {
+		t.Errorf("JSON round-trip lost degradation counters: %s", raw)
+	}
+	if len(back.Events) != 2 || back.Events[0].Kind != EvDegrade {
+		t.Errorf("JSON round-trip lost EvDegrade events: %s", raw)
+	}
+}
+
+func TestEmergencyTriggerName(t *testing.T) {
+	e := Event{Kind: EvGCBegin, A: 5, B: 3}
+	if s := e.String(); !strings.Contains(s, "trigger=emergency") {
+		t.Errorf("EvGCBegin String = %q, want trigger=emergency for gc.TriggerEmergency", s)
+	}
+	if got := EvDegrade.String(); got != "degrade" {
+		t.Errorf("EvDegrade.String() = %q", got)
+	}
+}

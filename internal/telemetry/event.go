@@ -60,6 +60,13 @@ const (
 	//   A = requested bytes
 	//   B = configured heap bytes
 	EvOOM
+
+	// EvDegrade: the collector took one step down the graceful-degradation
+	// ladder (Config.Degrade) instead of reporting OOM outright.
+	//   A = degradation step (gc.DegradeStep)
+	//   B = requested bytes (0 for steps not tied to an allocation)
+	//   C = configured heap bytes
+	EvDegrade
 )
 
 func (k EventKind) String() string {
@@ -76,6 +83,8 @@ func (k EventKind) String() string {
 		return "flip"
 	case EvOOM:
 		return "oom"
+	case EvDegrade:
+		return "degrade"
 	default:
 		return "none"
 	}
@@ -129,6 +138,9 @@ func (e Event) String() string {
 		return fmt.Sprintf("#%d t=%.0f flip alloc-belt=%d remset=%d", e.Seq, e.Time, e.A, e.B)
 	case EvOOM:
 		return fmt.Sprintf("#%d t=%.0f OOM requested=%d heap=%d", e.Seq, e.Time, e.A, e.B)
+	case EvDegrade:
+		return fmt.Sprintf("#%d t=%.0f degrade step=%s requested=%d heap=%d",
+			e.Seq, e.Time, degradeName(uint8(e.A)), e.B, e.C)
 	default:
 		return fmt.Sprintf("#%d t=%.0f %s", e.Seq, e.Time, e.Kind)
 	}
@@ -147,6 +159,26 @@ func triggerName(t uint8) string {
 		return "forced"
 	case 4:
 		return "forced-full"
+	case 5:
+		return "emergency"
+	default:
+		return "unknown"
+	}
+}
+
+// degradeName mirrors gc.DegradeStep.String, again without importing gc.
+func degradeName(s uint8) string {
+	switch s {
+	case 1:
+		return "emergency-collection"
+	case 2:
+		return "retry-averted"
+	case 3:
+		return "reserve-retry"
+	case 4:
+		return "reserve-overdraft"
+	case 5:
+		return "remset-overflow"
 	default:
 		return "unknown"
 	}

@@ -19,6 +19,12 @@ const (
 	MetricFlips           = "gc_belt_flips_total"
 	MetricOOMs            = "gc_oom_total"
 	MetricOccupiedBytes   = "heap_occupied_bytes"
+
+	// Degradation metrics (Config.Degrade): emergency full-heap
+	// collections taken, and allocations that would have OOMed but were
+	// rescued by the degradation ladder.
+	MetricEmergencyCollections = "emergency_collections_total"
+	MetricDegradedAverted      = "degraded_oom_averted_total"
 )
 
 // Run is one run's telemetry: a flight recorder and a metrics registry
@@ -44,6 +50,8 @@ type Run struct {
 	flips           *Counter
 	ooms            *Counter
 	occupied        *Gauge
+	emergencies     *Counter
+	averted         *Counter
 }
 
 // NewRun builds a Run observing the given clock, with a
@@ -64,6 +72,8 @@ func NewRun(clock *stats.Clock) *Run {
 		flips:           reg.NewCounter(MetricFlips, "older-first belt flips"),
 		ooms:            reg.NewCounter(MetricOOMs, "out-of-memory events"),
 		occupied:        reg.NewGauge(MetricOccupiedBytes, "collected-space occupancy after the last collection"),
+		emergencies:     reg.NewCounter(MetricEmergencyCollections, "emergency full-heap collections taken by the degradation ladder"),
+		averted:         reg.NewCounter(MetricDegradedAverted, "allocations rescued from OOM by the degradation ladder"),
 	}
 }
 
@@ -151,6 +161,18 @@ func (r *Run) Hooks() gc.Hooks {
 			r.rec.Emit(Event{
 				Kind: EvOOM, Time: r.now(),
 				A: uint64(requested), B: uint64(heapBytes),
+			})
+		},
+		Degraded: func(info gc.DegradeInfo) {
+			switch info.Step {
+			case gc.DegradeEmergencyGC:
+				r.emergencies.Inc()
+			case gc.DegradeRetryAverted:
+				r.averted.Inc()
+			}
+			r.rec.Emit(Event{
+				Kind: EvDegrade, Time: r.now(), GC: r.gcOrdinal,
+				A: uint64(info.Step), B: uint64(info.Requested), C: uint64(info.HeapBytes),
 			})
 		},
 	}
