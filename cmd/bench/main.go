@@ -1,5 +1,6 @@
 // Command bench runs the simulator's benchmark suites (heap, core,
-// remset, trace, workload) through testing.Benchmark and writes the
+// markregion, remset, trace, telemetry, workload) through
+// testing.Benchmark and writes the
 // results as machine-readable JSON, so successive runs can be diffed to
 // catch performance regressions.
 //
@@ -32,6 +33,10 @@ type Result struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	MBPerSec    float64 `json:"mb_per_s,omitempty"`
+	// Extra carries custom b.ReportMetric units (e.g. the collection
+	// benchmarks' copied-bytes/op, which records GC copy traffic so the
+	// mark-region substrate's copy savings are diffable across runs).
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Report is the top-level BENCH_<date>.json document.
@@ -46,7 +51,7 @@ type Report struct {
 
 func main() {
 	quick := flag.Bool("quick", false, "run each benchmark for a single iteration (CI smoke)")
-	suites := flag.String("suite", "all", "comma-separated suites to run (heap,core,remset,trace,workload) or 'all'")
+	suites := flag.String("suite", "all", "comma-separated suites to run (heap,core,markregion,remset,trace,telemetry,workload) or 'all'")
 	benchtime := flag.String("benchtime", "1s", "per-benchmark run time or iteration count (e.g. 100ms, 10x)")
 	out := flag.String("o", "", "output path (default BENCH_<date>.json in the current directory)")
 	flag.Parse()
@@ -100,6 +105,9 @@ func main() {
 		}
 		if r.Bytes > 0 && r.T > 0 {
 			res.MBPerSec = (float64(r.Bytes) * float64(r.N) / 1e6) / r.T.Seconds()
+		}
+		if len(r.Extra) > 0 {
+			res.Extra = r.Extra
 		}
 		fmt.Printf("%12.1f ns/op %10d B/op %8d allocs/op\n",
 			res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)

@@ -91,7 +91,10 @@ func main() {
 
 	if *list {
 		for _, e := range experiments.Registry() {
-			fmt.Printf("%-8s %s\n", e.ID, e.Description)
+			fmt.Printf("%-10s %s\n", e.ID, e.Description)
+		}
+		for _, e := range experiments.Extensions() {
+			fmt.Printf("%-10s %s (extension; not in -exp all)\n", e.ID, e.Description)
 		}
 		return
 	}

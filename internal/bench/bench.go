@@ -15,7 +15,7 @@ type Entry struct {
 
 // Suites lists the suite names in run order.
 func Suites() []string {
-	return []string{"heap", "core", "remset", "trace", "telemetry", "workload"}
+	return []string{"heap", "core", "markregion", "remset", "trace", "telemetry", "workload"}
 }
 
 // All returns every registered benchmark in deterministic (suite, then
@@ -32,6 +32,9 @@ func All() []Entry {
 		{"core", "NurseryCollection", NurseryCollection},
 		{"core", "FullCollection", FullCollection},
 		{"core", "CheneyScan", CheneyScan},
+		{"markregion", "MarkRegionAlloc", MarkRegionAlloc},
+		{"markregion", "LineMark", LineMark},
+		{"markregion", "MarkRegionFullCollection", MarkRegionFullCollection},
 		{"remset", "InsertDistinct", RemsetInsertDistinct},
 		{"remset", "InsertDuplicate", RemsetInsertDuplicate},
 		{"remset", "CollectRoots", RemsetCollectRoots},

@@ -116,11 +116,15 @@ func FullCollection(b *testing.B) {
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
+	copied0 := h.Clock().Counters.BytesCopied
 	for i := 0; i < b.N; i++ {
 		if err := h.Collect(true); err != nil {
 			b.Fatal(err)
 		}
 	}
+	b.StopTimer()
+	delta := h.Clock().Counters.BytesCopied - copied0
+	b.ReportMetric(float64(delta)/float64(b.N), "copied-bytes/op")
 }
 
 // CheneyScan isolates the transitive-closure scan: a wide, shallow live

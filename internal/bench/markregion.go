@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"testing"
+
+	"beltway/internal/collectors"
+	"beltway/internal/markregion"
+)
+
+// MarkRegionAlloc measures the mark-region bump path: like Alloc, but
+// every allocation also sets the object-start bit and maintains line
+// occupancy (markregion.Frame.NoteAlloc) on its way out.
+func MarkRegionAlloc(b *testing.B) {
+	o := collectors.Options{HeapBytes: 1 << 30, FrameBytes: 1 << 20}
+	h, node := newHeap(b, collectors.Immix(o))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Alloc(node, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// LineMark measures the substrate's trace primitive in isolation: one
+// Mark per object of a line-dense frame, then the sweep that intersects
+// the bitmaps and rebuilds line occupancy.
+func LineMark(b *testing.B) {
+	g, err := markregion.NewGeometry(1<<16, markregion.DefaultLineBytes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := g.NewFrame()
+	const objBytes = 64
+	nObj := g.FrameBytes / objBytes
+	for i := 0; i < nObj; i++ {
+		f.NoteAlloc(i*objBytes, objBytes)
+	}
+	sizeOf := func(int) int { return objBytes }
+	b.ReportAllocs()
+	b.SetBytes(int64(g.FrameBytes)) // bytes traced per iteration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for off := 0; off < g.FrameBytes; off += objBytes {
+			f.Mark(off)
+		}
+		if n, _ := f.Sweep(sizeOf); n != nObj {
+			b.Fatal(n)
+		}
+	}
+}
+
+// MarkRegionFullCollection is FullCollection on the mark-region
+// substrate: the same live linked structure, but survivors are marked in
+// place instead of evacuated. The copied-bytes/op metric records the
+// residual copy traffic (defragmentation only), the number the copying
+// FullCollection pays for every live byte.
+func MarkRegionFullCollection(b *testing.B) {
+	o := collectors.Options{HeapBytes: 32 << 20, FrameBytes: 256 << 10}
+	h, node := newHeap(b, collectors.Immix(o))
+	roots := h.Roots()
+	head := roots.Add(alloc(b, h, node))
+	prev := roots.Get(head)
+	for i := 0; i < 20000; i++ {
+		n := alloc(b, h, node)
+		h.WriteRef(prev, 0, n)
+		prev = n
+	}
+	copied0 := h.Clock().Counters.BytesCopied
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := h.Collect(true); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	delta := h.Clock().Counters.BytesCopied - copied0
+	b.ReportMetric(float64(delta)/float64(b.N), "copied-bytes/op")
+}

@@ -8,12 +8,15 @@ import (
 // PresetSpecs are the named collector spellings the oracle batteries
 // replay against: every preset family in internal/collectors — the
 // semi-space and Appel baselines, fixed nursery, older-first, two- and
-// three-belt Beltway in aligned and mixed sizes, MOS, and card marking.
+// three-belt Beltway in aligned and mixed sizes, MOS, card marking, and
+// the mark-region substrate (mature-belt hybrid and all-mark-region
+// Immix).
 var PresetSpecs = []string{
 	"ss", "appel", "appel3", "ba2", "fixed:40",
 	"bofm:20", "bof:25",
 	"25.25", "30.60", "25.25.100", "40.40.mos",
 	"cards:25.25",
+	"25.25-mr", "25.25.100-mr", "immix",
 }
 
 // PresetConfigs parses the full preset battery. Heap geometry is left

@@ -72,6 +72,21 @@ func RandomConfig(rng *rand.Rand, heapBytes, frameBytes int) core.Config {
 		cfg.Belts[1] = core.BeltSpec{IncrementFrac: cfg.Belts[0].IncrementFrac, PromoteTo: 0}
 		cfg.TTDBytes = 0
 	}
-	cfg.Name = fmt.Sprintf("rand-%d-belts-%s", nBelts, cfg.Barrier)
+	// Mark-region substrate on a random suffix of the belts (the mature
+	// end, where in-place marking pays), when the combination is legal:
+	// the engine forbids mixing mark-region with cards, MOS and
+	// older-first (core.Config.Validate).
+	mrTag := ""
+	if cfg.Barrier != core.CardBarrier && !cfg.MOS && !cfg.OlderFirst && rng.Intn(3) == 0 {
+		for i := rng.Intn(nBelts); i < nBelts; i++ {
+			cfg.Belts[i].Substrate = core.MarkRegion
+		}
+		cfg.MRDefragFrac = 0.15 + 0.5*rng.Float64()
+		if rng.Intn(2) == 0 {
+			cfg.MRLineBytes = 64 << rng.Intn(2)
+		}
+		mrTag = "-mr"
+	}
+	cfg.Name = fmt.Sprintf("rand-%d-belts-%s%s", nBelts, cfg.Barrier, mrTag)
 	return cfg
 }

@@ -24,7 +24,9 @@ import (
 //	X.Y              e.g. "25.50": two-belt Beltway with distinct sizes
 //	X.Y.100          three-belt with distinct lower sizes
 //	X.X.mos          Mature Object Space top belt (the §5 extension)
+//	immix            single mark-region belt (mark-sweep over lines + defrag)
 //	cards:<spec>     any of the above with card marking instead of remsets
+//	<spec>-mr        any of the above with a mark-region mature belt
 //
 // Numeric forms use percentages of usable memory, as in the paper.
 func Parse(spec string, o Options) (core.Config, error) {
@@ -36,7 +38,22 @@ func Parse(spec string, o Options) (core.Config, error) {
 		}
 		return WithCardBarrier(cfg), nil
 	}
+	if rest, ok := strings.CutSuffix(s, "-mr"); ok {
+		cfg, err := Parse(rest, o)
+		if err != nil {
+			return core.Config{}, err
+		}
+		cfg = WithMarkRegion(cfg)
+		// Reject combinations the engine forbids (older-first, cards)
+		// here, so callers see a parse error, not a later Validate one.
+		if err := cfg.Validate(); err != nil && cfg.HeapBytes > 0 {
+			return core.Config{}, fmt.Errorf("collectors: %q: %w", spec, err)
+		}
+		return cfg, nil
+	}
 	switch {
+	case s == "immix":
+		return Immix(o), nil
 	case s == "ss" || s == "bss" || s == "semispace":
 		return BSS(o), nil
 	case s == "appel":

@@ -1,10 +1,12 @@
 package collectors
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
 	"beltway/internal/core"
+	"beltway/internal/generational"
 	"beltway/internal/heap"
 )
 
@@ -107,22 +109,65 @@ func TestPresetStructure(t *testing.T) {
 	}
 }
 
+// specFromName recovers a Parse spec from a configuration's display
+// name: the inverse of the naming conventions the presets use ("Beltway "
+// prefix, "Fixed 25"-style spacing, the "+cards" suffix spelled as the
+// "cards:" prefix on the command line).
+func specFromName(name string) string {
+	s := strings.ToLower(strings.TrimSpace(name))
+	prefix := ""
+	if rest, ok := strings.CutSuffix(s, "+cards"); ok {
+		prefix, s = "cards:", rest
+	}
+	s = strings.TrimPrefix(s, "beltway ")
+	s = strings.Replace(s, "appel-3gen", "appel3", 1)
+	s = strings.ReplaceAll(s, " ", ":")
+	return prefix + s
+}
+
 func TestParseNameRoundTrip(t *testing.T) {
-	// Each parsed config's display name, lowered, should parse back to
-	// an equivalent configuration (command-line ergonomics).
-	for _, spec := range []string{"25.25", "25.25.100", "ba2"} {
-		cfg, err := Parse(spec, opts())
-		if err != nil {
-			t.Fatal(err)
+	// Every preset's display name, run back through specFromName and
+	// Parse, must reproduce the configuration exactly (command-line
+	// ergonomics: the name a tool prints is a spec a user can type).
+	o := opts()
+	presets := []core.Config{
+		BSS(o), BA2(o), BOFM(20, o), BOF(25, o),
+		XX(25, o), XX100(25, o), XXMOS(25, o), XY(25, 50, o),
+		generational.Appel(o), generational.Appel3(o), generational.Fixed(40, o),
+		Immix(o),
+	}
+	// Card-marking variants (MOS and mark-region require remsets; the
+	// older-first and boundary-barrier presets take cards like any other).
+	for _, cfg := range []core.Config{
+		BSS(o), BA2(o), BOFM(20, o), BOF(25, o),
+		XX(25, o), XX100(25, o), XY(25, 50, o), generational.Appel(o),
+	} {
+		presets = append(presets, WithCardBarrier(cfg))
+	}
+	// Mark-region variants (excluded: older-first, MOS, cards — the
+	// engine forbids those combinations, see core.Config.Validate).
+	for _, cfg := range []core.Config{
+		BSS(o), BA2(o), BOFM(20, o),
+		XX(25, o), XX100(25, o), XY(25, 50, o),
+		generational.Appel(o), generational.Appel3(o), generational.Fixed(40, o),
+	} {
+		presets = append(presets, WithMarkRegion(cfg))
+	}
+	seen := make(map[string]bool)
+	for _, cfg := range presets {
+		if seen[cfg.Name] {
+			t.Errorf("duplicate preset name %q", cfg.Name)
 		}
-		name := strings.TrimPrefix(strings.ToLower(cfg.Name), "beltway ")
-		cfg2, err := Parse(name, opts())
+		seen[cfg.Name] = true
+		spec := specFromName(cfg.Name)
+		cfg2, err := Parse(spec, o)
 		if err != nil {
-			t.Errorf("re-parsing %q (from %q): %v", name, spec, err)
+			t.Errorf("re-parsing %q (name %q): %v", spec, cfg.Name, err)
 			continue
 		}
-		if len(cfg2.Belts) != len(cfg.Belts) {
-			t.Errorf("round trip of %q changed belt count", spec)
+		if !reflect.DeepEqual(cfg, cfg2) {
+			t.Errorf("round trip of %q via %q changed the config:\n got %+v\nwant %+v",
+				cfg.Name, spec, cfg2, cfg)
 		}
 	}
 }

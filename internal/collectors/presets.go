@@ -162,6 +162,36 @@ func WithCardBarrier(cfg core.Config) core.Config {
 	return cfg
 }
 
+// WithMarkRegion returns a copy of cfg whose last (most mature) belt uses
+// the Immix-style mark-region substrate (internal/markregion): survivors
+// of that belt are marked in place and its dead lines swept back to
+// allocatable runs, with sparse frames defragmented through the copying
+// machinery (MRDefragFrac 0.25). The name gains a "-mr" suffix.
+func WithMarkRegion(cfg core.Config) core.Config {
+	cfg.Belts = append([]core.BeltSpec(nil), cfg.Belts...)
+	cfg.Belts[len(cfg.Belts)-1].Substrate = core.MarkRegion
+	cfg.MRDefragFrac = 0.25
+	cfg.Name += "-mr"
+	return cfg
+}
+
+// Immix is the all-mark-region limit of the design space: a single
+// self-promoting belt of one unbounded increment on the mark-region
+// substrate — mark-sweep over lines with opportunistic evacuation, the
+// shape of Blackburn & McKinley's Immix, expressed as a Beltway
+// configuration.
+func Immix(o Options) core.Config {
+	c := core.Config{
+		Name: "Immix",
+		Belts: []core.BeltSpec{
+			{IncrementFrac: 1.0, PromoteTo: 0, Substrate: core.MarkRegion},
+		},
+		MRDefragFrac: 0.25,
+	}
+	o.Apply(&c)
+	return c
+}
+
 // New instantiates a collector from a configuration.
 func New(cfg core.Config, types *heap.Registry) (*core.Heap, error) {
 	return core.New(cfg, types)

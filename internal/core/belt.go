@@ -21,6 +21,12 @@ type Increment struct {
 	bytes     int // occupied bytes (including per-frame tail waste)
 	capFrames int // frame budget; 0 = unbounded (IncrementFrac >= 1)
 
+	// Mark-region line cursor: the next frame index / line to search for
+	// a free-line run (monotonic per allocation cycle, reset by sweeps).
+	// Unused on copying belts.
+	mrFi   int
+	mrLine int
+
 	condemned bool // true while being collected
 }
 

@@ -108,6 +108,11 @@ func (h *Heap) collect(victims []*Increment, trigger gc.TriggerKind) error {
 	}
 	h.los.sweeping = len(h.los.objects) > 0 && len(victims) == total
 
+	// Renew condemned mark-region increments (fresh seq at the back of
+	// their belts, frames restamped) and pick the frames to evacuate,
+	// before any slot is examined against the stamps.
+	h.mrPrepareCollection(victims)
+
 	st := &h.gcs
 	st.reset(victims, len(h.belts))
 
@@ -131,7 +136,35 @@ func (h *Heap) collect(victims []*Increment, trigger gc.TriggerKind) error {
 		return gcErr
 	}
 
-	// 2. Boot image scan: boundary-barrier configurations pay it at every
+	// 2. Harvest the remembered-set roots (entries from non-condemned
+	// frames into condemned frames; sets between two condemned frames
+	// are ignored wholesale, §3.3.2), then retire every OTHER set
+	// touching a condemned mark-region frame. A renewed increment keeps
+	// its frames, so unlike a copying increment its stale entries do not
+	// die with the frame: the slots of its dead objects vanish at the
+	// coming sweep, and once their lines are reused such a slot address
+	// would point into the middle of some future object — consuming it
+	// then would read (or clobber) arbitrary live words. The trace
+	// re-inserts exactly the entries that still matter: survivors'
+	// outgoing pointers when they are scanned, pointers INTO the renewed
+	// frames when the slots holding them pass through rescanSlot. The
+	// harvest comes first because those entries are this collection's
+	// roots; the purge precedes the boot scan so it cannot eat entries
+	// the scan is about to insert for in-place survivors.
+	slots := h.rems.AppendRoots(h.rootBuf[:0], h.frameCondemnedFn)
+	h.rootBuf = slots
+	if h.mr.active {
+		for _, in := range victims {
+			if !h.isMRBelt(in.belt) {
+				continue
+			}
+			for _, f := range in.frames {
+				h.rems.DeleteFrame(f)
+			}
+		}
+	}
+
+	// 3. Boot image scan: boundary-barrier configurations pay it at every
 	// collection (their cheap barrier does not remember boot-image
 	// stores, as the paper notes of Appel's collector); a heap in remset-
 	// overflow degradation pays it too, because the dropped entries could
@@ -142,22 +175,24 @@ func (h *Heap) collect(victims []*Increment, trigger gc.TriggerKind) error {
 		}
 	}
 
-	// 3. Pointers into the condemned set from the rest of the heap:
-	// dirty-card scanning for card-marking configurations, remembered
-	// sets otherwise (entries from non-condemned frames into condemned
-	// frames; sets between two condemned frames are ignored wholesale,
-	// §3.3.2).
+	// 4. Pointers into the condemned set from the rest of the heap:
+	// dirty-card scanning for card-marking configurations, the harvested
+	// remembered-set entries otherwise.
 	if h.cfg.Barrier == CardBarrier {
 		if err := h.scanDirtyCards(st); err != nil {
 			return err
 		}
 	}
-	slots := h.rems.AppendRoots(h.rootBuf[:0], h.frameCondemnedFn)
-	h.rootBuf = slots
 	for _, slotAddr := range slots {
 		c.RemsetEntriesGC++
 		h.clock.Advance(h.cfg.Costs.RemsetEntry)
 		val := heap.Addr(h.space.Word(slotAddr))
+		if val != heap.Nil && h.mrStale(val) {
+			// The slot (itself only reachable through a stale remset
+			// entry) points at storage a line sweep already reclaimed.
+			h.space.SetWord(slotAddr, uint32(heap.Nil))
+			continue
+		}
 		if val == heap.Nil || !h.isCondemned(val) {
 			if val != heap.Nil {
 				h.markLOS(val)
@@ -176,24 +211,36 @@ func (h *Heap) collect(victims []*Increment, trigger gc.TriggerKind) error {
 		h.rescanSlot(slotAddr, nv)
 	}
 
-	// 4. Cheney transitive closure over all target increments,
-	// interleaved with large-object marking during full collections.
+	// 5. Transitive closure: Cheney scans over the copying targets,
+	// interleaved with the mark-region gray stack (in-place survivors
+	// and arrivals in holey frames) and, during full collections,
+	// large-object marking.
 	for {
 		if err := h.drainScans(st); err != nil {
 			return err
 		}
-		adv, err := h.drainLOSQueue(st)
+		advMR, err := h.drainMRQueue(st)
 		if err != nil {
 			return err
 		}
-		if !adv {
+		advLOS, err := h.drainLOSQueue(st)
+		if err != nil {
+			return err
+		}
+		if !advMR && !advLOS {
 			break
 		}
 	}
 
-	// 5. Release the condemned increments: delete their remsets, unmap
-	// their frames, drop them from their belts.
+	// 6. Release the condemned increments: delete their remsets, unmap
+	// their frames, drop them from their belts. Mark-region increments
+	// are instead swept to free-line runs and rejoin their belts (only
+	// evacuated and emptied frames are unmapped).
 	for _, in := range victims {
+		if h.isMRBelt(in.belt) {
+			h.mrRelease(in)
+			continue
+		}
 		for _, f := range in.frames {
 			h.rems.DeleteFrame(f)
 			h.space.UnmapFrame(f)
@@ -220,14 +267,17 @@ func (h *Heap) collect(victims []*Increment, trigger gc.TriggerKind) error {
 	cn := h.clock.Counters
 	if h.hooks.GCEnd != nil {
 		h.hooks.GCEnd(gc.GCEndInfo{
-			Duration:         h.clock.Now() - t0,
-			BytesCopied:      cn.BytesCopied - c0.BytesCopied,
-			ObjectsCopied:    cn.ObjectsCopied - c0.ObjectsCopied,
-			RemsetEntries:    cn.RemsetEntriesGC - c0.RemsetEntriesGC,
-			CardsScanned:     cn.CardsScanned - c0.CardsScanned,
-			BootBytesScanned: cn.BootBytesScanned - c0.BootBytesScanned,
-			BarrierSlowPaths: cn.BarrierSlowPaths - h.slowAtLastGC,
-			SurvivorBytes:    h.LiveEstimate(),
+			Duration:          h.clock.Now() - t0,
+			BytesCopied:       cn.BytesCopied - c0.BytesCopied,
+			ObjectsCopied:     cn.ObjectsCopied - c0.ObjectsCopied,
+			RemsetEntries:     cn.RemsetEntriesGC - c0.RemsetEntriesGC,
+			CardsScanned:      cn.CardsScanned - c0.CardsScanned,
+			BootBytesScanned:  cn.BootBytesScanned - c0.BootBytesScanned,
+			BarrierSlowPaths:  cn.BarrierSlowPaths - h.slowAtLastGC,
+			SurvivorBytes:     h.LiveEstimate(),
+			MRObjectsMarked:   cn.MRObjectsMarked - c0.MRObjectsMarked,
+			MRBytesMarked:     cn.MRBytesMarked - c0.MRBytesMarked,
+			MRFramesEvacuated: cn.MRFramesEvacuated - c0.MRFramesEvacuated,
 		})
 	}
 	h.slowAtLastGC = cn.BarrierSlowPaths
@@ -237,8 +287,10 @@ func (h *Heap) collect(victims []*Increment, trigger gc.TriggerKind) error {
 			for _, in := range b.incrs {
 				frames += len(in.frames)
 			}
+			lines, used := h.MRLineStats(bi)
 			h.hooks.Occupancy(gc.BeltStat{
 				Belt: bi, Increments: b.Len(), Bytes: b.Bytes(), Frames: frames,
+				MRLines: lines, MRLinesUsed: used,
 			})
 		}
 	}
@@ -280,6 +332,11 @@ func (h *Heap) forward(a heap.Addr, st *gcState, ctx *Increment) (heap.Addr, err
 	if src == nil || !src.condemned {
 		panic(fmt.Sprintf("core: forward of non-condemned object at %v", a))
 	}
+	// Mark-region frames keep their survivors in place (unless flagged
+	// for evacuation): mark, queue for scanning, return the same address.
+	if h.mr.active && h.mrMark(a) {
+		return a, nil
+	}
 	size := h.space.SizeOf(a)
 	var dst heap.Addr
 	var err error
@@ -300,6 +357,11 @@ func (h *Heap) forward(a heap.Addr, st *gcState, ctx *Increment) (heap.Addr, err
 	h.clock.Advance(h.cfg.Costs.CopyByte * float64(size))
 	if h.hooks.Moved != nil {
 		h.hooks.Moved(a, dst)
+	}
+	// Copies into mark-region frames cannot rely on a Cheney scan (the
+	// frame may have holes between live runs), so queue them explicitly.
+	if h.mr.active && h.mrFrame(h.space.FrameOf(dst)) != nil {
+		h.mr.queue = append(h.mr.queue, dst)
 	}
 	return dst, nil
 }
@@ -373,6 +435,11 @@ func (h *Heap) resolveTarget(srcBelt int, st *gcState) *Increment {
 // pointer they hold is already in a remembered set, so only objects
 // copied during THIS collection need scanning.
 func (h *Heap) registerScan(in *Increment, st *gcState) {
+	if h.isMRBelt(in.belt) {
+		// Mark-region increments have holes, so they cannot be Cheney-
+		// scanned linearly; forward queues each arrival on h.mr.queue.
+		return
+	}
 	for i := range st.scans {
 		if st.scans[i].in == in {
 			return
@@ -461,6 +528,13 @@ func (h *Heap) scanObject(obj heap.Addr, st *gcState) (int, error) {
 		h.clock.Advance(h.cfg.Costs.ScanSlot)
 		val := heap.Addr(h.space.Word(slotAddr))
 		if val != heap.Nil {
+			if h.mrStale(val) {
+				// Stale pointer in a resurrected dead object: the referent
+				// was reclaimed by a line sweep. Clear it.
+				h.space.SetWord(slotAddr, uint32(heap.Nil))
+				slotAddr += heap.WordBytes
+				continue
+			}
 			if h.isCondemned(val) {
 				ctx := h.incrOf[h.space.FrameOf(obj)]
 				nv, err := h.forward(val, st, ctx)
@@ -531,6 +605,12 @@ func (h *Heap) scanBootImage(st *gcState) error {
 		for i := 0; i < n; i++ {
 			h.clock.Advance(h.cfg.Costs.ScanSlot)
 			val := h.space.GetRef(lo.addr, i)
+			if val != heap.Nil && h.mrStale(val) {
+				// Dead-but-unswept large objects can hold pointers to
+				// storage a line sweep already reclaimed.
+				h.space.SetRef(lo.addr, i, heap.Nil)
+				continue
+			}
 			if val == heap.Nil || !h.isCondemned(val) {
 				continue
 			}

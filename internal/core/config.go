@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"beltway/internal/gc"
+	"beltway/internal/markregion"
 	"beltway/internal/stats"
 )
 
@@ -62,6 +63,30 @@ func (o Options) Apply(c *Config) {
 	c.PhysMemBytes = o.PhysMemBytes
 }
 
+// Substrate selects how a belt's increments manage their frames.
+type Substrate uint8
+
+const (
+	// Copying is the classic Beltway substrate: increments are filled by
+	// bump allocation and reclaimed by evacuating their survivors to the
+	// promotion target (Cheney copying).
+	Copying Substrate = iota
+	// MarkRegion is the Immix-style substrate (internal/markregion):
+	// frames are divided into lines, allocation bumps over free line
+	// runs, and a condemned increment's survivors are marked in place
+	// and its dead lines swept back to allocatable runs — except for
+	// sparsely occupied frames, which are opportunistically evacuated
+	// (Config.MRDefragFrac) through the normal copying machinery.
+	MarkRegion
+)
+
+func (s Substrate) String() string {
+	if s == MarkRegion {
+		return "mark-region"
+	}
+	return "copying"
+}
+
 // BeltSpec configures one belt.
 type BeltSpec struct {
 	// IncrementFrac is the maximum increment size X as a fraction of
@@ -91,6 +116,12 @@ type BeltSpec struct {
 	// Zero (the default, used by all Beltway configurations) reserves
 	// nothing.
 	ReserveFrac float64
+
+	// Substrate selects the belt's frame management: Copying (the
+	// default) or MarkRegion. Mark-region belts trade copy traffic for
+	// line-granularity fragmentation; belts of both kinds mix freely
+	// (e.g. a copying nursery over a mark-region mature belt).
+	Substrate Substrate
 }
 
 // Config describes a complete Beltway collector configuration. It is the
@@ -159,6 +190,18 @@ type Config struct {
 	// Zero disables the LOS, as in the paper's GCTk, and objects must
 	// then fit in one frame.
 	LOSThresholdBytes int
+
+	// MRLineBytes is the line size of mark-region belts; zero means
+	// markregion.DefaultLineBytes (128). Must be a power of two, at
+	// least two words, with at least two lines per frame.
+	MRLineBytes int
+
+	// MRDefragFrac tunes opportunistic defragmentation of mark-region
+	// belts: a condemned frame whose line occupancy is below this
+	// fraction is evacuated through the copying machinery instead of
+	// being swept in place. Zero disables defragmentation (pure
+	// mark-sweep-to-lines); must stay below 1.
+	MRDefragFrac float64
 
 	// PretenureBelt is the belt that receives pretenured allocations
 	// (AllocPretenured) — §5's segregation by allocation site, "e.g.,
@@ -259,6 +302,40 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("core: MOS and older-first are mutually exclusive")
 		case c.MOSCarsPerTrain < 0:
 			return fmt.Errorf("core: negative MOSCarsPerTrain")
+		}
+	}
+	mr := false
+	for i, b := range c.Belts {
+		switch b.Substrate {
+		case Copying:
+		case MarkRegion:
+			mr = true
+		default:
+			return fmt.Errorf("core: belt %d: unknown substrate %d", i, b.Substrate)
+		}
+	}
+	if mr {
+		switch {
+		case c.OlderFirst:
+			// BOF flips renumber stamps under the two belts; mark-region
+			// renewal re-sequences increments independently, and the two
+			// renumberings do not compose.
+			return fmt.Errorf("core: mark-region belts and older-first are mutually exclusive")
+		case c.Barrier == CardBarrier:
+			// Dirty-card scanning walks each frame linearly from its base
+			// to its fill mark, which is meaningless over line holes.
+			return fmt.Errorf("core: mark-region belts require remembered sets (frame or boundary barrier)")
+		case c.MOS:
+			return fmt.Errorf("core: mark-region belts and MOS are mutually exclusive")
+		case c.MRDefragFrac < 0 || c.MRDefragFrac >= 1:
+			return fmt.Errorf("core: MRDefragFrac %v out of [0,1)", c.MRDefragFrac)
+		}
+		lb := c.MRLineBytes
+		if lb == 0 {
+			lb = markregion.DefaultLineBytes
+		}
+		if _, err := markregion.NewGeometry(c.FrameBytes, lb); err != nil {
+			return err
 		}
 	}
 	return nil

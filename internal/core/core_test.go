@@ -32,6 +32,8 @@ func allConfigs(heapKB int) []core.Config {
 		collectors.XY(25, 50, o),
 		collectors.WithCardBarrier(collectors.XX100(25, o)),
 		collectors.XXMOS(25, o),
+		collectors.WithMarkRegion(collectors.XX100(25, o)),
+		collectors.Immix(o),
 		withLOS(collectors.XX100(25, o)),
 		generational.Appel(o),
 		generational.Fixed(25, o),

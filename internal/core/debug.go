@@ -61,6 +61,30 @@ func (h *Heap) CheckInvariants() error {
 					return fmt.Errorf("core: frame %d stamp %#x, want %#x", f, h.stamp[f], wantStamp)
 				}
 				base := h.space.FrameBase(f)
+				if fs := h.mrFrame(f); fs != nil {
+					// Mark-region frame: occupancy is line-granular, the
+					// bump window may sit in any frame's hole (so no
+					// cursor==fill relation), and objects are found
+					// through the start bitmap, not a linear walk.
+					var err error
+					fs.ForEachObject(func(off int) bool {
+						obj := base + heap.Addr(off)
+						if h.space.Forwarded(obj) {
+							err = fmt.Errorf("core: %v forwarded outside GC", obj)
+							return false
+						}
+						if last := off + h.space.SizeOf(obj) - 1; fs.Geometry().LineOf(last) >= fs.Lines() {
+							err = fmt.Errorf("core: %v overruns frame %d", obj, f)
+							return false
+						}
+						return true
+					})
+					if err != nil {
+						return err
+					}
+					bytes += fs.UsedLines() * h.mr.geo.LineBytes
+					continue
+				}
 				fill := h.fill[f]
 				if fill < base || fill > h.space.FrameLimit(f) {
 					return fmt.Errorf("core: frame %d fill %v out of range", f, fill)

@@ -50,6 +50,7 @@ type Heap struct {
 	mos            mosState
 	los            losState
 	deg            degradeState
+	mr             mrState
 
 	// Reusable per-collection machinery, so steady-state collections and
 	// trigger polls allocate nothing: the gcState scratch (scan pointers,
@@ -97,6 +98,7 @@ func New(cfg Config, types *heap.Registry) (*Heap, error) {
 	h.trigTargetFn = func(f heap.Frame) bool {
 		return int(f) < len(h.incrOf) && h.incrOf[f] == h.trigOld
 	}
+	h.mrInit()
 	h.recomputeReserve()
 	return h, nil
 }
@@ -316,6 +318,13 @@ func (h *Heap) tryAlloc(size int) (heap.Addr, bool) {
 		if in.cursor != heap.Nil && in.cursor+heap.Addr(size) <= in.limit {
 			return h.bump(in, size), true
 		}
+		// A mark-region belt hunts swept line runs across all of its
+		// increments before growing the mapped footprint.
+		if h.mr.active {
+			if a, ok := h.mrRefillBelt(h.allocBelt, size); ok {
+				return a, true
+			}
+		}
 		// Current frame exhausted (or no frame yet): extend the increment.
 		if !in.atCapacity() && h.freeBudgetFor(h.allocBelt) >= h.cfg.FrameBytes {
 			if !h.addFrame(in) {
@@ -404,6 +413,9 @@ func (h *Heap) addFrame(in *Increment) bool {
 	in.frames = append(in.frames, f)
 	in.cursor = base
 	in.limit = h.space.FrameLimit(f)
+	if h.isMRBelt(in.belt) {
+		h.mrAttach(f)
+	}
 	h.heapFrames++
 	h.clock.Advance(h.cfg.Costs.FrameOp)
 	if !h.inGC {
@@ -414,12 +426,22 @@ func (h *Heap) addFrame(in *Increment) bool {
 	return true
 }
 
-// bump performs the bump allocation inside the increment's open frame.
+// bump performs the bump allocation inside the increment's open window
+// (a frame tail for copying increments, a free-line run for mark-region
+// ones, where the new object's start and line span are also recorded).
 func (h *Heap) bump(in *Increment, size int) heap.Addr {
 	a := in.cursor
 	in.cursor += heap.Addr(size)
-	in.bytes += size
-	h.fill[h.space.FrameOf(a)] = in.cursor
+	f := h.space.FrameOf(a)
+	h.fill[f] = in.cursor
+	if fs := h.mrFrame(f); fs != nil {
+		// Mark-region occupancy is line-granular at all times: the
+		// increment accounts whole lines as they first become used.
+		newLines := fs.NoteAlloc(int(a-h.space.FrameBase(f)), size)
+		in.bytes += newLines * h.mr.geo.LineBytes
+	} else {
+		in.bytes += size
+	}
 	return a
 }
 

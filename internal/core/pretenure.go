@@ -91,6 +91,12 @@ func (h *Heap) tryAllocPretenured(bi, size int) (heap.Addr, bool) {
 		in = belt.Youngest()
 	}
 
+	// A mark-region pretenure belt can satisfy the allocation from swept
+	// holes in any of its increments before claiming fresh frames.
+	if a, ok := h.mrRefillBelt(bi, size); ok {
+		return a, true
+	}
+
 	if in != nil && !in.condemned {
 		if in.cursor != heap.Nil && in.cursor+heap.Addr(size) <= in.limit {
 			return h.bump(in, size), true

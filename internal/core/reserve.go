@@ -49,12 +49,18 @@ func (h *Heap) recomputeReserve() {
 	} else {
 		lower := 0 // sum of min(occ(j), worth(j)) over belts below k
 		for k, b := range h.belts {
+			// A mark-region increment copies only its evacuation
+			// candidates, so it charges the reserve mrCopyBound, not its
+			// full occupancy.
 			if old := b.Oldest(); old != nil {
-				if need := lower + old.bytes; need > reserve {
+				if need := lower + h.mrCopyBound(old); need > reserve {
 					reserve = need
 				}
 			}
 			occ := b.Bytes()
+			if h.isMRBelt(k) {
+				occ = h.mrBeltCopyBound(b)
+			}
 			worth := h.cfg.FrameBytes
 			if k == h.allocBelt {
 				worth = h.nurseryMinBytes()
@@ -68,8 +74,16 @@ func (h *Heap) recomputeReserve() {
 	}
 
 	// Analytic floor for bounded-increment belts that may not exist yet.
-	for _, b := range h.belts {
+	for bi, b := range h.belts {
 		if f := b.spec.IncrementFrac; f < 1.0 {
+			if h.isMRBelt(bi) {
+				// Mark-region increments copy at most MRDefragFrac of
+				// their frames' worth; with defrag off they copy nothing.
+				f *= h.cfg.MRDefragFrac
+				if f == 0 {
+					continue
+				}
+			}
 			floor := int(f / (1.0 + f) * float64(h.cfg.HeapBytes))
 			if len(h.belts) > 1 {
 				floor += h.nurseryMinBytes() // cascaded nursery dregs

@@ -19,6 +19,7 @@ type BeltSnapshot struct {
 	Priority   int
 	PromoteTo  int
 	Bytes      int
+	Substrate  Substrate
 	Increments []IncrementSnapshot
 }
 
@@ -49,6 +50,7 @@ func (h *Heap) Snapshot() HeapSnapshot {
 			Priority:  int(b.priority),
 			PromoteTo: b.promoteTo,
 			Bytes:     b.Bytes(),
+			Substrate: b.spec.Substrate,
 		}
 		for _, in := range b.incrs {
 			bs.Increments = append(bs.Increments, IncrementSnapshot{

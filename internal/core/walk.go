@@ -13,6 +13,18 @@ func (h *Heap) ForEachObject(fn func(heap.Addr) bool) {
 			return
 		}
 		base := h.space.FrameBase(f)
+		if fs := h.mrFrame(f); fs != nil {
+			// Mark-region frames have holes between live runs; walk the
+			// object-start bitmap instead of a linear header walk.
+			fs.ForEachObject(func(off int) bool {
+				if !fn(base + heap.Addr(off)) {
+					stop = true
+					return false
+				}
+				return true
+			})
+			return
+		}
 		limit := h.fill[f]
 		h.space.WalkObjects(base, limit, func(obj heap.Addr) bool {
 			if !fn(obj) {

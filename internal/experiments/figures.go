@@ -35,9 +35,19 @@ func Registry() []Experiment {
 	}
 }
 
-// Get returns the experiment with the given id, or nil.
+// Extensions lists experiments that go beyond the paper's evaluation.
+// They resolve through Get (e.g. "-exp substrate") but stay out of
+// Registry, so "-exp all" regenerates exactly the paper's tables.
+func Extensions() []Experiment {
+	return []Experiment{
+		{"substrate", "Mark-region substrate: 25.25-mr vs Immix vs copying 25.25 vs Appel", (*Suite).FigureSubstrate},
+	}
+}
+
+// Get returns the experiment with the given id, or nil. Extension
+// experiments resolve here too.
 func Get(id string) *Experiment {
-	for _, e := range Registry() {
+	for _, e := range append(Registry(), Extensions()...) {
 		if e.ID == id {
 			e := e
 			return &e

@@ -83,6 +83,13 @@ type GCEndInfo struct {
 	// SurvivorBytes is the collected-space occupancy after the
 	// collection.
 	SurvivorBytes int
+	// MRObjectsMarked/MRBytesMarked count survivors marked in place by
+	// the mark-region substrate (instead of being copied);
+	// MRFramesEvacuated counts sparse frames defragmented through the
+	// copy path. All zero for purely copying configurations.
+	MRObjectsMarked   uint64
+	MRBytesMarked     uint64
+	MRFramesEvacuated uint64
 }
 
 // IncrementInfo identifies one increment in hook callbacks.
@@ -100,6 +107,10 @@ type BeltStat struct {
 	Increments int
 	Bytes      int
 	Frames     int
+	// MRLines/MRLinesUsed report line-granularity occupancy for belts on
+	// the mark-region substrate (both zero for copying belts).
+	MRLines     int
+	MRLinesUsed int
 }
 
 // DegradeStep identifies one rung of the graceful-degradation ladder.

@@ -204,6 +204,16 @@ func (s *Space) slabAt(a Addr, write bool) ([]uint32, uint32) {
 	return s.frames[f], w & s.wordMask
 }
 
+// ZeroRange zeroes n bytes starting at a; the range must lie within a
+// single frame. Fresh slabs arrive zeroed, but storage reclaimed in
+// place (mark-region line sweeps) still holds the dead objects' bytes —
+// allocators reusing such ranges must re-zero them so new objects see
+// nil slots and zero data, exactly as they would in a fresh frame.
+func (s *Space) ZeroRange(a Addr, n int) {
+	slab, off := s.slabAt(a, true)
+	clear(slab[off : off+uint32(n)>>WordShift])
+}
+
 // Word reads the word at byte address a.
 func (s *Space) Word(a Addr) uint32 {
 	w := uint32(a) >> WordShift

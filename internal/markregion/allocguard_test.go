@@ -1,0 +1,71 @@
+package markregion
+
+import "testing"
+
+// The bitmap primitives run on the collector's mark/sweep hot paths —
+// once per object traced and once per frame swept, every collection —
+// so these guards pin them at zero heap allocations.
+
+func guardFrame(t *testing.T) *Frame {
+	t.Helper()
+	g, err := NewGeometry(4096, DefaultLineBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.NewFrame()
+}
+
+func TestNoteAllocZeroAlloc(t *testing.T) {
+	f := guardFrame(t)
+	off := 0
+	if n := testing.AllocsPerRun(100, func() {
+		f.NoteAlloc(off%f.Geometry().FrameBytes, 16)
+		off += 16
+	}); n != 0 {
+		t.Errorf("NoteAlloc allocates %v times per op, want 0", n)
+	}
+}
+
+func TestMarkZeroAlloc(t *testing.T) {
+	f := guardFrame(t)
+	f.NoteAlloc(0, 64)
+	if n := testing.AllocsPerRun(100, func() {
+		f.Mark(0)
+		if !f.Marked(0) {
+			t.Fatal("mark lost")
+		}
+	}); n != 0 {
+		t.Errorf("Mark/Marked allocate %v times per op, want 0", n)
+	}
+}
+
+func TestFindRunZeroAlloc(t *testing.T) {
+	f := guardFrame(t)
+	// A fragmented frame: every third line used, so FindRun walks holes.
+	for l := 0; l < f.Lines(); l += 3 {
+		f.NoteAlloc(l*f.Geometry().LineBytes, 8)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if _, _, ok := f.FindRun(0, 2); !ok {
+			t.Fatal("no run")
+		}
+	}); n != 0 {
+		t.Errorf("FindRun allocates %v times per op, want 0", n)
+	}
+}
+
+func TestSweepZeroAlloc(t *testing.T) {
+	f := guardFrame(t)
+	sizeOf := func(off int) int { return 64 }
+	if n := testing.AllocsPerRun(100, func() {
+		for off := 0; off < f.Geometry().FrameBytes; off += 64 {
+			f.NoteAlloc(off, 64)
+			f.Mark(off)
+		}
+		if live, _ := f.Sweep(sizeOf); live != f.Geometry().FrameBytes/64 {
+			t.Fatal("sweep lost survivors")
+		}
+	}); n != 0 {
+		t.Errorf("Sweep allocates %v times per op, want 0", n)
+	}
+}

@@ -1,0 +1,14 @@
+package markregion_test
+
+import (
+	"testing"
+
+	"beltway/internal/bench"
+)
+
+// Benchmark bodies live in beltway/internal/bench so `go test -bench`
+// and the cmd/bench regression harness measure the same code.
+
+func BenchmarkMarkRegionAlloc(b *testing.B)          { bench.MarkRegionAlloc(b) }
+func BenchmarkLineMark(b *testing.B)                 { bench.LineMark(b) }
+func BenchmarkMarkRegionFullCollection(b *testing.B) { bench.MarkRegionFullCollection(b) }

@@ -1,0 +1,229 @@
+// Package markregion implements the per-frame metadata of an Immix-style
+// mark-region heap substrate (Blackburn & McKinley, "Immix: A Mark-Region
+// Garbage Collector", and the Nofl/LXR line of successors): each heap
+// frame is divided into fixed-size lines; allocation bumps through runs
+// of free lines; tracing marks objects (and, at sweep time, the lines
+// they occupy) instead of copying them; and a sweep turns unmarked lines
+// back into allocatable runs without moving anything.
+//
+// The package is deliberately free of collector policy: it only keeps
+// three bitmaps per frame — object starts, per-trace marks, and line
+// occupancy — plus the occupancy summary. Which frames use this
+// substrate, when to trace, when to sweep, and when to give up on a
+// sparse frame and evacuate it (defragmentation) are decided by
+// internal/core, which owns the belts.
+package markregion
+
+import (
+	"fmt"
+	"math/bits"
+
+	"beltway/internal/heap"
+)
+
+// DefaultLineBytes is the line granularity used when the configuration
+// does not override it — Immix's 128-byte line, adapted to the
+// simulator's 4-byte words.
+const DefaultLineBytes = 128
+
+// Geometry fixes the frame and line sizes for a run. All offsets handled
+// by this package are byte offsets relative to a frame's base address,
+// and must be word-aligned (the simulator allocates in whole words).
+type Geometry struct {
+	FrameBytes int
+	LineBytes  int
+}
+
+// NewGeometry validates and builds a geometry: both sizes must be powers
+// of two, with at least two words per line and at least two lines per
+// frame (a one-line frame degenerates to a whole-frame mark bit).
+func NewGeometry(frameBytes, lineBytes int) (Geometry, error) {
+	if lineBytes < 2*heap.WordBytes || lineBytes&(lineBytes-1) != 0 {
+		return Geometry{}, fmt.Errorf("markregion: line size %d not a power of two >= %d", lineBytes, 2*heap.WordBytes)
+	}
+	if frameBytes < 2*lineBytes || frameBytes&(frameBytes-1) != 0 {
+		return Geometry{}, fmt.Errorf("markregion: frame size %d not a power of two >= two lines of %d", frameBytes, lineBytes)
+	}
+	return Geometry{FrameBytes: frameBytes, LineBytes: lineBytes}, nil
+}
+
+// Lines returns the number of lines per frame.
+func (g Geometry) Lines() int { return g.FrameBytes / g.LineBytes }
+
+// LinesFor returns how many whole lines an allocation of size bytes
+// needs when it starts on a line boundary — the run length the
+// allocator must find for a medium object (conservative skip: holes
+// shorter than this are passed over, not packed).
+func (g Geometry) LinesFor(size int) int {
+	return (size + g.LineBytes - 1) / g.LineBytes
+}
+
+// LineOf returns the line index containing byte offset off.
+func (g Geometry) LineOf(off int) int { return off / g.LineBytes }
+
+// Frame is the mark-region metadata of one heap frame: a bit per word
+// for object starts, a bit per word for the current trace's marks, and a
+// bit per line for occupancy, with a running count of used lines.
+type Frame struct {
+	g Geometry
+
+	objStart []uint64 // bit per word: an object header starts at this offset
+	marks    []uint64 // bit per word: object at this offset survived the current trace
+	lineUsed []uint64 // bit per line: some live or not-yet-swept object touches the line
+
+	usedLines int
+}
+
+// NewFrame builds an all-free frame for the geometry.
+func (g Geometry) NewFrame() *Frame {
+	words := g.FrameBytes / heap.WordBytes
+	return &Frame{
+		g:        g,
+		objStart: make([]uint64, (words+63)/64),
+		marks:    make([]uint64, (words+63)/64),
+		lineUsed: make([]uint64, (g.Lines()+63)/64),
+	}
+}
+
+// Reset clears every bitmap, returning the frame to all-free (used when
+// a pooled Frame is attached to a freshly mapped heap frame).
+func (f *Frame) Reset() {
+	clear(f.objStart)
+	clear(f.marks)
+	clear(f.lineUsed)
+	f.usedLines = 0
+}
+
+// Geometry returns the frame's geometry.
+func (f *Frame) Geometry() Geometry { return f.g }
+
+// Lines returns the number of lines in the frame.
+func (f *Frame) Lines() int { return f.g.Lines() }
+
+// UsedLines returns how many lines currently hold (potentially dead,
+// not-yet-swept) data. Free lines are Lines() - UsedLines().
+func (f *Frame) UsedLines() int { return f.usedLines }
+
+// wordIndex converts a byte offset to its bitmap position.
+func wordIndex(off int) (idx int, bit uint64) {
+	w := off / heap.WordBytes
+	return w >> 6, 1 << (uint(w) & 63)
+}
+
+// NoteAlloc records a bump allocation of size bytes at byte offset off:
+// the object-start bit is set and every line the object touches becomes
+// used. Must be called for every object placed in the frame, whether by
+// the mutator or by a collector copy. It returns the number of newly
+// used lines, so callers can keep line-granularity occupancy.
+func (f *Frame) NoteAlloc(off, size int) int {
+	idx, bit := wordIndex(off)
+	f.objStart[idx] |= bit
+	newLines := 0
+	for l := f.g.LineOf(off); l <= f.g.LineOf(off+size-1); l++ {
+		if f.lineUsed[l>>6]&(1<<(uint(l)&63)) == 0 {
+			f.lineUsed[l>>6] |= 1 << (uint(l) & 63)
+			f.usedLines++
+			newLines++
+		}
+	}
+	return newLines
+}
+
+// Mark sets the trace mark for the object at byte offset off, reporting
+// whether it was newly marked (false means the object was already
+// reached by this trace).
+func (f *Frame) Mark(off int) bool {
+	idx, bit := wordIndex(off)
+	if f.marks[idx]&bit != 0 {
+		return false
+	}
+	f.marks[idx] |= bit
+	return true
+}
+
+// Marked reports whether the object at off is marked in the current
+// trace.
+func (f *Frame) Marked(off int) bool {
+	idx, bit := wordIndex(off)
+	return f.marks[idx]&bit != 0
+}
+
+// IsObjStart reports whether an object starts at byte offset off.
+func (f *Frame) IsObjStart(off int) bool {
+	idx, bit := wordIndex(off)
+	return f.objStart[idx]&bit != 0
+}
+
+// FindRun finds the first run of at least need free lines starting at or
+// after line from, returning the run's [start, end) line bounds. The run
+// returned is maximal, so a bump allocator can consume it to the end
+// before asking again. ok is false when no such run exists in the frame.
+func (f *Frame) FindRun(from, need int) (start, end int, ok bool) {
+	lines := f.g.Lines()
+	l := from
+	for l < lines {
+		// Skip used lines.
+		if f.lineUsed[l>>6]&(1<<(uint(l)&63)) != 0 {
+			l++
+			continue
+		}
+		runStart := l
+		for l < lines && f.lineUsed[l>>6]&(1<<(uint(l)&63)) == 0 {
+			l++
+		}
+		if l-runStart >= need {
+			return runStart, l, true
+		}
+	}
+	return 0, 0, false
+}
+
+// ForEachObject visits every recorded object start in ascending offset
+// order. The walk includes objects dead since the last sweep (exactly as
+// a linear walk of a copying frame does); it stops early when fn returns
+// false, and reports whether the walk ran to completion.
+func (f *Frame) ForEachObject(fn func(off int) bool) bool {
+	for i, w := range f.objStart {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &^= 1 << uint(b)
+			off := (i<<6 + b) * heap.WordBytes
+			if !fn(off) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Sweep completes a trace over the frame: object starts are intersected
+// with the marks (dropping dead objects), the marks are cleared for the
+// next trace, and line occupancy is recomputed from the survivors using
+// sizeOf to read each surviving object's size from its header. It
+// returns the surviving object count and their total byte size (the
+// exact live bytes; line-granularity occupancy is UsedLines()*LineBytes).
+func (f *Frame) Sweep(sizeOf func(off int) int) (liveObjects, liveBytes int) {
+	for i := range f.objStart {
+		f.objStart[i] &= f.marks[i]
+		f.marks[i] = 0
+	}
+	clear(f.lineUsed)
+	f.usedLines = 0
+	for i, w := range f.objStart {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &^= 1 << uint(b)
+			off := (i<<6 + b) * heap.WordBytes
+			size := sizeOf(off)
+			liveObjects++
+			liveBytes += size
+			for l := f.g.LineOf(off); l <= f.g.LineOf(off+size-1); l++ {
+				if f.lineUsed[l>>6]&(1<<(uint(l)&63)) == 0 {
+					f.lineUsed[l>>6] |= 1 << (uint(l) & 63)
+					f.usedLines++
+				}
+			}
+		}
+	}
+	return liveObjects, liveBytes
+}

@@ -1,0 +1,198 @@
+package markregion
+
+import "testing"
+
+func geo(t *testing.T) Geometry {
+	t.Helper()
+	g, err := NewGeometry(4096, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGeometryValidation(t *testing.T) {
+	cases := []struct {
+		frame, line int
+		ok          bool
+	}{
+		{4096, 128, true},
+		{4096, 8, true},
+		{256, 128, true},
+		{4096, 100, false},  // not a power of two
+		{4096, 4, false},    // below two words
+		{4096, 4096, false}, // fewer than two lines per frame
+		{4096, 8192, false},
+		{3000, 128, false}, // frame not a power of two
+	}
+	for _, c := range cases {
+		_, err := NewGeometry(c.frame, c.line)
+		if (err == nil) != c.ok {
+			t.Errorf("NewGeometry(%d, %d): err=%v, want ok=%v", c.frame, c.line, err, c.ok)
+		}
+	}
+}
+
+func TestNoteAllocLineAccounting(t *testing.T) {
+	g := geo(t)
+	f := g.NewFrame()
+	if f.Lines() != 32 {
+		t.Fatalf("Lines() = %d, want 32", f.Lines())
+	}
+	// A small object in line 0.
+	f.NoteAlloc(0, 16)
+	if f.UsedLines() != 1 {
+		t.Fatalf("after 16B alloc: UsedLines = %d, want 1", f.UsedLines())
+	}
+	// Another object in the same line must not double-count.
+	f.NoteAlloc(16, 16)
+	if f.UsedLines() != 1 {
+		t.Fatalf("second alloc in same line: UsedLines = %d, want 1", f.UsedLines())
+	}
+	// A medium object spanning lines 1..3 (starts at 128, 300 bytes).
+	f.NoteAlloc(128, 300)
+	if f.UsedLines() != 4 {
+		t.Fatalf("after spanning alloc: UsedLines = %d, want 4", f.UsedLines())
+	}
+	if !f.IsObjStart(0) || !f.IsObjStart(16) || !f.IsObjStart(128) {
+		t.Fatal("object-start bits missing")
+	}
+	if f.IsObjStart(4) {
+		t.Fatal("spurious object-start bit")
+	}
+}
+
+func TestFindRunConservativeSkip(t *testing.T) {
+	g := geo(t)
+	f := g.NewFrame()
+	// Occupy lines 2 and 5, leaving holes [0,2), [3,5), [6,32).
+	f.NoteAlloc(2*128, 8)
+	f.NoteAlloc(5*128, 8)
+
+	start, end, ok := f.FindRun(0, 1)
+	if !ok || start != 0 || end != 2 {
+		t.Fatalf("FindRun(0,1) = [%d,%d) ok=%v, want [0,2)", start, end, ok)
+	}
+	// A 3-line object skips both small holes (conservative skip).
+	start, end, ok = f.FindRun(0, 3)
+	if !ok || start != 6 || end != 32 {
+		t.Fatalf("FindRun(0,3) = [%d,%d) ok=%v, want [6,32)", start, end, ok)
+	}
+	// Resuming past the first hole finds the second.
+	start, end, ok = f.FindRun(2, 1)
+	if !ok || start != 3 || end != 5 {
+		t.Fatalf("FindRun(2,1) = [%d,%d) ok=%v, want [3,5)", start, end, ok)
+	}
+	// No run of 33 lines exists.
+	if _, _, ok = f.FindRun(0, 33); ok {
+		t.Fatal("FindRun found an impossible run")
+	}
+	// A full frame has no runs at all.
+	for l := 0; l < f.Lines(); l++ {
+		f.NoteAlloc(l*128, 8)
+	}
+	if _, _, ok = f.FindRun(0, 1); ok {
+		t.Fatal("FindRun found a run in a full frame")
+	}
+}
+
+func TestMarkSweep(t *testing.T) {
+	g := geo(t)
+	f := g.NewFrame()
+	sizes := map[int]int{0: 64, 64: 64, 128: 256, 512: 32}
+	for off, size := range sizes {
+		f.NoteAlloc(off, size)
+	}
+	// Mark two of the four.
+	if !f.Mark(64) {
+		t.Fatal("first Mark(64) not newly marked")
+	}
+	if f.Mark(64) {
+		t.Fatal("second Mark(64) claimed newly marked")
+	}
+	if !f.Mark(128) {
+		t.Fatal("Mark(128) not newly marked")
+	}
+	if !f.Marked(64) || f.Marked(0) {
+		t.Fatal("Marked() disagrees with Mark()")
+	}
+
+	n, bytes := f.Sweep(func(off int) int { return sizes[off] })
+	if n != 2 || bytes != 64+256 {
+		t.Fatalf("Sweep = (%d, %d), want (2, 320)", n, bytes)
+	}
+	// Survivors: 64B at 64 (line 0), 256B at 128 (lines 1-2).
+	if f.UsedLines() != 3 {
+		t.Fatalf("post-sweep UsedLines = %d, want 3", f.UsedLines())
+	}
+	if f.IsObjStart(0) || f.IsObjStart(512) {
+		t.Fatal("dead object-start bit survived the sweep")
+	}
+	if !f.IsObjStart(64) || !f.IsObjStart(128) {
+		t.Fatal("live object-start bit lost by the sweep")
+	}
+	if f.Marked(64) {
+		t.Fatal("mark bit survived the sweep")
+	}
+	// Line 4 onward (offset 512's line) is free again.
+	start, end, ok := f.FindRun(3, 1)
+	if !ok || start != 3 || end != 32 {
+		t.Fatalf("post-sweep FindRun(3,1) = [%d,%d) ok=%v, want [3,32)", start, end, ok)
+	}
+}
+
+func TestForEachObjectOrderAndStop(t *testing.T) {
+	g := geo(t)
+	f := g.NewFrame()
+	offs := []int{3000, 4, 256, 1024}
+	for _, off := range offs {
+		f.NoteAlloc(off, 8)
+	}
+	var got []int
+	if !f.ForEachObject(func(off int) bool { got = append(got, off); return true }) {
+		t.Fatal("full walk reported early stop")
+	}
+	want := []int{4, 256, 1024, 3000}
+	if len(got) != len(want) {
+		t.Fatalf("walked %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("walked %v, want %v", got, want)
+		}
+	}
+	// Early stop after the first object.
+	count := 0
+	if f.ForEachObject(func(off int) bool { count++; return false }) {
+		t.Fatal("stopped walk reported completion")
+	}
+	if count != 1 {
+		t.Fatalf("stopped walk visited %d objects, want 1", count)
+	}
+}
+
+func TestResetAndReuse(t *testing.T) {
+	g := geo(t)
+	f := g.NewFrame()
+	f.NoteAlloc(0, 512)
+	f.Mark(0)
+	f.Reset()
+	if f.UsedLines() != 0 || f.IsObjStart(0) || f.Marked(0) {
+		t.Fatal("Reset left state behind")
+	}
+	start, end, ok := f.FindRun(0, f.Lines())
+	if !ok || start != 0 || end != f.Lines() {
+		t.Fatalf("reset frame FindRun = [%d,%d) ok=%v, want whole frame", start, end, ok)
+	}
+}
+
+func TestLinesFor(t *testing.T) {
+	g := geo(t)
+	for _, c := range []struct{ size, want int }{
+		{1, 1}, {128, 1}, {129, 2}, {256, 2}, {257, 3},
+	} {
+		if got := g.LinesFor(c.size); got != c.want {
+			t.Errorf("LinesFor(%d) = %d, want %d", c.size, got, c.want)
+		}
+	}
+}

@@ -67,6 +67,13 @@ type Counters struct {
 	PretenuredBytes   uint64 // bytes allocated directly on older belts
 	LOSBytesAllocated uint64 // bytes allocated in the large object space
 	LOSBytesSwept     uint64 // large-object bytes reclaimed by sweeps
+
+	// Mark-region substrate counters.
+	MRObjectsMarked   uint64 // objects marked in place (not copied)
+	MRBytesMarked     uint64 // bytes of in-place survivors
+	MRLinesReclaimed  uint64 // lines returned to free runs by sweeps and unmaps
+	MRFramesSwept     uint64 // frames swept in place and kept
+	MRFramesEvacuated uint64 // sparse frames emptied through the copy path
 }
 
 // NewClock returns a clock using the given cost model.

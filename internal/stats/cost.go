@@ -36,6 +36,10 @@ type CostModel struct {
 	FrameOp      float64 // per frame mapped/unmapped/retargeted during GC
 	CardMark     float64 // per store under the card barrier (2-3 instructions)
 	CardScanByte float64 // per byte of dirty card scanned at collections
+
+	// Mark-region substrate costs.
+	MarkObject    float64 // per object marked in place (test-and-set + queue push)
+	LineSweepByte float64 // per frame byte examined by a line sweep
 }
 
 // DefaultCosts is calibrated so that, on the bundled workloads, the Appel
@@ -59,6 +63,9 @@ func DefaultCosts() CostModel {
 		FrameOp:      500,
 		CardMark:     1.5,
 		CardScanByte: 0.4,
+
+		MarkObject:    8.0,
+		LineSweepByte: 0.2,
 	}
 }
 

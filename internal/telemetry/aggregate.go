@@ -35,6 +35,12 @@ func NewAggregator() *Aggregator {
 			MetricFlips:           "older-first belt flips",
 			MetricOOMs:            "out-of-memory events",
 			MetricOccupiedBytes:   "collected-space occupancy after the last collection",
+
+			MetricMRObjectsMarked:   "mark-region survivors marked in place",
+			MetricMRBytesMarked:     "bytes of mark-region survivors marked in place",
+			MetricMRFramesEvacuated: "sparse mark-region frames defragmented through the copy path",
+			MetricMRLines:           "lines on mark-region belts after the last collection",
+			MetricMRLinesUsed:       "used lines on mark-region belts after the last collection",
 		},
 	}
 }

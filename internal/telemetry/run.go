@@ -25,6 +25,16 @@ const (
 	// rescued by the degradation ladder.
 	MetricEmergencyCollections = "emergency_collections_total"
 	MetricDegradedAverted      = "degraded_oom_averted_total"
+
+	// Mark-region substrate metrics: in-place survivor volume and
+	// defragmentation from GCEnd, line/block utilization from the
+	// per-belt occupancy stream (lines summed over mark-region belts;
+	// copying belts report zero lines).
+	MetricMRObjectsMarked   = "markregion_objects_marked_total"
+	MetricMRBytesMarked     = "markregion_bytes_marked_total"
+	MetricMRFramesEvacuated = "markregion_frames_evacuated_total"
+	MetricMRLines           = "markregion_lines_total"
+	MetricMRLinesUsed       = "markregion_lines_used"
 )
 
 // Run is one run's telemetry: a flight recorder and a metrics registry
@@ -52,6 +62,18 @@ type Run struct {
 	occupied        *Gauge
 	emergencies     *Counter
 	averted         *Counter
+
+	mrMarkedObjects *Counter
+	mrMarkedBytes   *Counter
+	mrEvacuated     *Counter
+	mrLines         *Gauge
+	mrLinesUsed     *Gauge
+	// Per-belt line occupancy from the last Occupancy emission, so the
+	// gauges can report whole-heap sums while the hook stream is per
+	// belt. Grown on first sight of a belt; steady-state emission stays
+	// allocation-free.
+	mrBeltLines []float64
+	mrBeltUsed  []float64
 }
 
 // NewRun builds a Run observing the given clock, with a
@@ -74,6 +96,11 @@ func NewRun(clock *stats.Clock) *Run {
 		occupied:        reg.NewGauge(MetricOccupiedBytes, "collected-space occupancy after the last collection"),
 		emergencies:     reg.NewCounter(MetricEmergencyCollections, "emergency full-heap collections taken by the degradation ladder"),
 		averted:         reg.NewCounter(MetricDegradedAverted, "allocations rescued from OOM by the degradation ladder"),
+		mrMarkedObjects: reg.NewCounter(MetricMRObjectsMarked, "mark-region survivors marked in place"),
+		mrMarkedBytes:   reg.NewCounter(MetricMRBytesMarked, "bytes of mark-region survivors marked in place"),
+		mrEvacuated:     reg.NewCounter(MetricMRFramesEvacuated, "sparse mark-region frames defragmented through the copy path"),
+		mrLines:         reg.NewGauge(MetricMRLines, "lines on mark-region belts after the last collection"),
+		mrLinesUsed:     reg.NewGauge(MetricMRLinesUsed, "used lines on mark-region belts after the last collection"),
 	}
 }
 
@@ -132,6 +159,9 @@ func (r *Run) Hooks() gc.Hooks {
 			r.remsetHist.Observe(float64(info.RemsetEntries))
 			r.barrierSlow.Add(info.BarrierSlowPaths)
 			r.occupied.Set(float64(info.SurvivorBytes))
+			r.mrMarkedObjects.Add(info.MRObjectsMarked)
+			r.mrMarkedBytes.Add(info.MRBytesMarked)
+			r.mrEvacuated.Add(info.MRFramesEvacuated)
 			r.rec.Emit(Event{
 				Kind: EvGCEnd, Time: r.now(), Dur: info.Duration, GC: r.gcOrdinal,
 				A: info.BytesCopied,
@@ -141,6 +171,21 @@ func (r *Run) Hooks() gc.Hooks {
 			})
 		},
 		Occupancy: func(b gc.BeltStat) {
+			if b.Belt >= 0 {
+				for len(r.mrBeltLines) <= b.Belt {
+					r.mrBeltLines = append(r.mrBeltLines, 0)
+					r.mrBeltUsed = append(r.mrBeltUsed, 0)
+				}
+				r.mrBeltLines[b.Belt] = float64(b.MRLines)
+				r.mrBeltUsed[b.Belt] = float64(b.MRLinesUsed)
+				var lines, used float64
+				for i := range r.mrBeltLines {
+					lines += r.mrBeltLines[i]
+					used += r.mrBeltUsed[i]
+				}
+				r.mrLines.Set(lines)
+				r.mrLinesUsed.Set(used)
+			}
 			r.rec.Emit(Event{
 				Kind: EvBelt, Time: r.now(), GC: r.gcOrdinal,
 				A: uint64(b.Belt),
