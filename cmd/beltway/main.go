@@ -40,6 +40,8 @@ func main() {
 		physMB  = flag.Int("physmem", -1, "modelled physical memory in MB (0 = off, -1 = auto)")
 		showMMU = flag.Bool("mmu", false, "print the MMU curve")
 		preten  = flag.Bool("pretenure", false, "route known-long-lived allocation sites to older belts")
+		muts    = flag.Int("mutators", 1,
+			"mutator goroutines; >1 shards the run over N private heaps (simulated N-core makespan)")
 
 		traceOut = flag.String("trace-out", "",
 			"write a Chrome trace_event JSON of the run's GC events")
@@ -63,6 +65,7 @@ func main() {
 		env.PhysMemBytes = *physMB << 20
 	}
 	env.Pretenure = *preten
+	env.Mutators = *muts
 
 	var heapBytes int
 	if *heapMB > 0 {
@@ -160,7 +163,12 @@ func printResult(r *harness.Result) {
 		return
 	}
 	c := r.Counters
-	fmt.Printf("\n%s on %s, heap %s MB\n", r.Collector, r.Benchmark, harness.FmtMB(r.HeapBytes))
+	if r.Mutators > 1 {
+		fmt.Printf("\n%s on %s, heap %s MB/mutator, %d mutators (times are simulated %d-core makespan)\n",
+			r.Collector, r.Benchmark, harness.FmtMB(r.HeapBytes), r.Mutators, r.Mutators)
+	} else {
+		fmt.Printf("\n%s on %s, heap %s MB\n", r.Collector, r.Benchmark, harness.FmtMB(r.HeapBytes))
+	}
 	fmt.Printf("  total time          %10.3f s (nominal)\n", r.TotalTime/733e6)
 	fmt.Printf("  gc time             %10.3f s (%.1f%%)\n", r.GCTime/733e6, 100*r.GCFraction())
 	ps := stats.SummarizePauses(r.Pauses)

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// runCompare diffs two BENCH_<date>.json reports benchstat-style: one
+// row per (suite, benchmark, metric) present in both, with the old and
+// new values and the percentage delta. For every metric, smaller is
+// better (ns/op, B/op, allocs/op and the custom extras are all costs;
+// throughput-style extras are inverted below). Deltas whose magnitude
+// exceeds threshold percent are flagged, and regressions — the new
+// value worse than the old — are counted into the return value so the
+// caller can exit non-zero.
+func runCompare(w io.Writer, oldPath, newPath string, threshold float64) (regressions int, err error) {
+	oldRep, err := readReport(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newRep, err := readReport(newPath)
+	if err != nil {
+		return 0, err
+	}
+	oldBy := map[string]Result{}
+	for _, r := range oldRep.Benchmarks {
+		oldBy[r.Suite+"/"+r.Name] = r
+	}
+
+	fmt.Fprintf(w, "old: %s (%s, benchtime %s)\n", oldPath, oldRep.Date, oldRep.Benchtime)
+	fmt.Fprintf(w, "new: %s (%s, benchtime %s)\n\n", newPath, newRep.Date, newRep.Benchtime)
+	fmt.Fprintf(w, "%-34s %-18s %14s %14s %9s\n", "benchmark", "metric", "old", "new", "delta")
+
+	matched := 0
+	for _, nr := range newRep.Benchmarks {
+		key := nr.Suite + "/" + nr.Name
+		or, ok := oldBy[key]
+		if !ok {
+			fmt.Fprintf(w, "%-34s %-18s %14s %14s %9s\n", key, "-", "-", "(new)", "")
+			continue
+		}
+		matched++
+		for _, m := range metricsOf(or, nr) {
+			delta := pctDelta(m.old, m.new)
+			mark := ""
+			if math.Abs(delta) > threshold {
+				worse := m.new > m.old
+				if m.higherIsBetter {
+					worse = m.new < m.old
+				}
+				if worse {
+					mark = "  REGRESSION"
+					regressions++
+				} else {
+					mark = "  improved"
+				}
+			}
+			fmt.Fprintf(w, "%-34s %-18s %14.2f %14.2f %+8.1f%%%s\n",
+				key, m.name, m.old, m.new, delta, mark)
+		}
+	}
+	for key := range oldBy {
+		if !hasBench(newRep, key) {
+			fmt.Fprintf(w, "%-34s %-18s %14s %14s %9s\n", key, "-", "(gone)", "-", "")
+		}
+	}
+	if matched == 0 {
+		return regressions, fmt.Errorf("no common benchmarks between %s and %s", oldPath, newPath)
+	}
+	return regressions, nil
+}
+
+// metric is one comparable measurement of a benchmark pair.
+type metric struct {
+	name           string
+	old, new       float64
+	higherIsBetter bool
+}
+
+// metricsOf pairs up the standard metrics and every Extra key the two
+// results share, in a stable order. Zero-valued allocation metrics are
+// skipped (not all benchmarks allocate); throughput extras (per-cost
+// rates, MB/s) score higher-is-better.
+func metricsOf(or, nr Result) []metric {
+	out := []metric{{name: "ns/op", old: or.NsPerOp, new: nr.NsPerOp}}
+	if or.BytesPerOp != 0 || nr.BytesPerOp != 0 {
+		out = append(out, metric{name: "B/op", old: float64(or.BytesPerOp), new: float64(nr.BytesPerOp)})
+	}
+	if or.AllocsPerOp != 0 || nr.AllocsPerOp != 0 {
+		out = append(out, metric{name: "allocs/op", old: float64(or.AllocsPerOp), new: float64(nr.AllocsPerOp)})
+	}
+	if or.MBPerSec != 0 && nr.MBPerSec != 0 {
+		out = append(out, metric{name: "MB/s", old: or.MBPerSec, new: nr.MBPerSec, higherIsBetter: true})
+	}
+	var extras []string
+	for k := range nr.Extra {
+		if _, ok := or.Extra[k]; ok {
+			extras = append(extras, k)
+		}
+	}
+	sort.Strings(extras)
+	for _, k := range extras {
+		out = append(out, metric{
+			name: k, old: or.Extra[k], new: nr.Extra[k],
+			higherIsBetter: higherIsBetter(k),
+		})
+	}
+	return out
+}
+
+// higherIsBetter classifies an Extra metric by its unit name: rates
+// (throughput) improve upward, everything else (costs, counts, bytes)
+// improves downward.
+func higherIsBetter(name string) bool {
+	switch name {
+	case "agg-B-per-cost/op", "MB/s":
+		return true
+	}
+	return false
+}
+
+func pctDelta(old, new float64) float64 {
+	if old == 0 {
+		if new == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (new - old) / old * 100
+}
+
+func hasBench(rep *Report, key string) bool {
+	for _, r := range rep.Benchmarks {
+		if r.Suite+"/"+r.Name == key {
+			return true
+		}
+	}
+	return false
+}
+
+func readReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}

@@ -51,10 +51,40 @@ type Report struct {
 
 func main() {
 	quick := flag.Bool("quick", false, "run each benchmark for a single iteration (CI smoke)")
-	suites := flag.String("suite", "all", "comma-separated suites to run (heap,core,markregion,remset,trace,telemetry,workload) or 'all'")
+	suites := flag.String("suite", "all", "comma-separated suites to run (heap,core,markregion,remset,trace,telemetry,workload,shard) or 'all'")
 	benchtime := flag.String("benchtime", "1s", "per-benchmark run time or iteration count (e.g. 100ms, 10x)")
 	out := flag.String("o", "", "output path (default BENCH_<date>.json in the current directory)")
+	mutators := flag.Int("mutators", 0,
+		"cap the shard suite's scaling curve at this mutator width (0 = full default curve)")
+	compare := flag.Bool("compare", false,
+		"compare two reports instead of running: bench -compare OLD.json NEW.json")
+	threshold := flag.Float64("threshold", 5,
+		"with -compare, regression tolerance in percent; worse-than-threshold deltas exit non-zero")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-compare needs exactly two report paths, have %d", flag.NArg()))
+		}
+		regressions, err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold)
+		if err != nil {
+			fatal(err)
+		}
+		if regressions > 0 {
+			fmt.Fprintf(os.Stderr, "bench: %d regression(s) beyond %.1f%%\n", regressions, *threshold)
+			os.Exit(1)
+		}
+		return
+	}
+	if *mutators > 0 {
+		var counts []int
+		for _, n := range bench.ShardCounts {
+			if n <= *mutators {
+				counts = append(counts, n)
+			}
+		}
+		bench.ShardCounts = counts
+	}
 
 	// testing.Benchmark reads the test.* flags; register them and force
 	// allocation reporting so B/op and allocs/op are always recorded.

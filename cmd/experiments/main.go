@@ -72,6 +72,8 @@ func main() {
 			"per-run cost budget in nominal seconds of simulated time (0 = none); exceeded runs abort deterministically")
 		degrade = flag.Bool("degrade", false,
 			"enable the graceful-degradation ladder: emergency full-heap collection and one retry before any run reports OOM")
+		mutators = flag.Int("mutators", 1,
+			"mutator goroutines per run; >1 shards every run over N private heaps (default 1 = classic single-mutator tables)")
 		faultSeed = flag.Int64("fault-seed", 0,
 			"run every configuration under a deterministic fault-injection schedule derived from this seed (chaos testing; 0 = off)")
 
@@ -112,6 +114,7 @@ func main() {
 	}
 	env.Degrade = *degrade
 	env.FaultSeed = *faultSeed
+	env.Mutators = *mutators
 
 	// Telemetry: observability output goes to files (and the optional HTTP
 	// endpoint), never stdout, so the printed tables stay byte-identical

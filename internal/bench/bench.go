@@ -15,12 +15,18 @@ type Entry struct {
 
 // Suites lists the suite names in run order.
 func Suites() []string {
-	return []string{"heap", "core", "markregion", "remset", "trace", "telemetry", "workload"}
+	return []string{"heap", "core", "markregion", "remset", "trace", "telemetry", "workload", "shard"}
 }
 
 // All returns every registered benchmark in deterministic (suite, then
-// declaration) order.
+// declaration) order. The shard suite's entries come last and are
+// generated from ShardCounts (one per mutator width), so callers may
+// trim the scaling curve before registration.
 func All() []Entry {
+	return append(static(), shardEntries()...)
+}
+
+func static() []Entry {
 	return []Entry{
 		{"heap", "WordAccess", WordAccess},
 		{"heap", "FrameMapUnmap", FrameMapUnmap},

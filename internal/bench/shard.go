@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"testing"
+
+	"beltway/internal/collectors"
+	"beltway/internal/gc"
+	"beltway/internal/shard"
+)
+
+// ShardCounts lists the mutator widths the shard suite measures. The
+// cmd/bench -mutators flag trims it; the default curve (1, 2, 4, 8)
+// is what BENCH_<date>.json records so scaling regressions are
+// diffable.
+var ShardCounts = []int{1, 2, 4, 8}
+
+// shardEntries materializes one scaling entry per configured width.
+// Called from All at registration time, after flags may have trimmed
+// ShardCounts.
+func shardEntries() []Entry {
+	var out []Entry
+	for _, n := range ShardCounts {
+		n := n
+		out = append(out, Entry{"shard", "Scale" + itoa(n), func(b *testing.B) { runShardScale(b, n) }})
+	}
+	return out
+}
+
+func itoa(n int) string {
+	if n >= 10 {
+		return string(rune('0'+n/10)) + string(rune('0'+n%10))
+	}
+	return string(rune('0' + n))
+}
+
+// runShardScale runs a fixed rounds-with-barriers plan over n mutator
+// shards: every round each shard allocates linked chains off its
+// private nursery, publishes its survivor to the exchange and consumes
+// its neighbor's, polling the safepoint throughout; every second round
+// boundary runs a rendezvoused global collection fanned out over
+// parallel workers. Reported extras:
+//
+//	makespan-cost/op    simulated N-core elapsed cost units per run
+//	agg-B-per-cost/op   aggregate (allocated+copied) bytes per makespan
+//	                    cost unit — the scaling curve's y axis
+//	copied-bytes/op     aggregate GC copy traffic, as in the core suite
+//
+// The throughput metric is measured against the simulated machine's
+// clock, so the curve is identical on any host core count.
+func runShardScale(b *testing.B, n int) {
+	b.ReportAllocs()
+	var makespan, throughput, copied float64
+	for i := 0; i < b.N; i++ {
+		cfg := collectors.XX100(25, collectors.Options{HeapBytes: 512 << 10, FrameBytes: 8 << 10})
+		rt, err := shard.New(cfg, shard.Options{Shards: n, Seed: 20020617, PerShardHeap: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan := shard.Plan{
+			Rounds:       8,
+			CollectEvery: 2,
+			Body: func(round int, s *shard.Shard) {
+				node := s.Heap.Space().Types.Lookup("bench.node")
+				if node == nil {
+					node = s.Heap.Space().Types.DefineScalar("bench.node", 2, 4)
+				}
+				s.M.Push()
+				var last gc.Handle
+				for j := 0; j < 400; j++ {
+					h := s.M.Alloc(node, 0)
+					s.M.SetData(h, 0, uint32(s.Rng.Intn(1<<16)))
+					s.M.SetRef(h, 0, last)
+					last = h
+					s.M.Work(8)
+					s.Poll()
+				}
+				kept := s.M.Keep(last)
+				s.M.Pop()
+				if h := s.Consume((s.ID + 1) % n); h != gc.NilHandle {
+					s.M.SetData(kept, 1, s.M.GetData(h, 0))
+				}
+				s.Publish(s.ID, kept)
+			},
+		}
+		if err := rt.Run(plan); err != nil {
+			b.Fatal(err)
+		}
+		res := rt.Result()
+		if res.OOM {
+			b.Fatal("shard bench OOM: heap sizing is off")
+		}
+		makespan += res.Makespan
+		throughput += res.Throughput()
+		copied += float64(res.BytesCopied)
+	}
+	b.ReportMetric(makespan/float64(b.N), "makespan-cost/op")
+	b.ReportMetric(throughput/float64(b.N), "agg-B-per-cost/op")
+	b.ReportMetric(copied/float64(b.N), "copied-bytes/op")
+}

@@ -186,115 +186,165 @@ const maxScopeDepth = 8
 // the end. An out-of-memory condition propagates as the usual vm panic
 // to the caller's Run.
 func Execute(s Script, m *vm.Mutator) {
-	types := defineScriptTypes(m.C.Space().Types)
-	var live []liveEntry
-	depth := 0
-
-	pick := func(a byte) int { return int(a) % len(live) }
-	closeScope := func() {
-		kept := live[:0]
-		for _, e := range live {
-			if e.depth != depth {
-				kept = append(kept, e)
-			}
-		}
-		live = kept
-		depth--
-		m.Pop()
-	}
-
+	e := NewExecutor(m)
 	for _, op := range s {
-		switch op.Kind {
-		case OpAlloc:
-			live = append(live, liveEntry{m.Alloc(types.node, 0), depth})
-		case OpAllocBig:
-			live = append(live, liveEntry{m.Alloc(types.big, 0), depth})
-		case OpAllocArr:
-			live = append(live, liveEntry{m.Alloc(types.arr, arrayLen(op.A)), depth})
-		case OpAllocWords:
-			live = append(live, liveEntry{m.Alloc(types.words, arrayLen(op.A)), depth})
-		case OpAllocLarge:
-			live = append(live, liveEntry{m.Alloc(types.arr, largeArrayLen), depth})
-		case OpAllocGlobal:
-			live = append(live, liveEntry{m.AllocGlobal(types.node, 0), -1})
-		case OpAllocPretenure:
-			live = append(live, liveEntry{m.AllocPretenuredGlobal(types.node, 0), -1})
-		case OpAllocImmortal:
-			live = append(live, liveEntry{m.AllocImmortal(types.node, 0), depth})
-		case OpSetRef:
-			if len(live) == 0 {
-				continue
-			}
-			obj := live[pick(op.A)].h
-			if n := numRefSlots(m, obj); n > 0 {
-				m.SetRef(obj, int(op.B)%n, live[pick(op.C)].h)
-			}
-		case OpSetRefNil:
-			if len(live) == 0 {
-				continue
-			}
-			obj := live[pick(op.A)].h
-			if n := numRefSlots(m, obj); n > 0 {
-				m.SetRefNil(obj, int(op.B)%n)
-			}
-		case OpGetRef:
-			if len(live) == 0 {
-				continue
-			}
-			obj := live[pick(op.A)].h
-			if n := numRefSlots(m, obj); n > 0 {
-				if h := m.GetRef(obj, int(op.B)%n); h != gc.NilHandle {
-					live = append(live, liveEntry{h, depth})
-				}
-			}
-		case OpSetData:
-			if len(live) == 0 {
-				continue
-			}
-			obj := live[pick(op.A)].h
-			if n := numDataWords(m, obj); n > 0 {
-				m.SetData(obj, int(op.B)%n, uint32(op.C))
-			}
-		case OpGetData:
-			if len(live) == 0 {
-				continue
-			}
-			obj := live[pick(op.A)].h
-			if n := numDataWords(m, obj); n > 0 {
-				m.GetData(obj, int(op.B)%n)
-			}
-		case OpRelease:
-			if len(live) == 0 {
-				continue
-			}
-			i := pick(op.A)
-			m.Release(live[i].h)
-			live[i] = live[len(live)-1]
-			live = live[:len(live)-1]
-		case OpKeep:
-			if len(live) == 0 {
-				continue
-			}
-			live = append(live, liveEntry{m.Keep(live[pick(op.A)].h), -1})
-		case OpPush:
-			if depth < maxScopeDepth {
-				depth++
-				m.Push()
-			}
-		case OpPop:
-			if depth > 0 {
-				closeScope()
-			}
-		case OpWork:
-			m.Work(1 + int(op.A)%64)
-		case OpCollect:
-			m.Collect(false)
-		case OpCollectFull:
-			m.Collect(true)
+		e.Do(op)
+	}
+	e.Close()
+}
+
+// Executor is the script interpreter's resumable form: the same
+// semantics as Execute, but stepped one Op at a time so a script can be
+// cut into rounds (the sharded oracle interleaves rounds of N
+// executors with exchange traffic and safepoints between them). An
+// Executor holds the live-handle list and scope depth across calls;
+// Execute is exactly NewExecutor + Do per op + Close.
+type Executor struct {
+	m     *vm.Mutator
+	types scriptTypes
+	live  []liveEntry
+	depth int
+}
+
+// NewExecutor prepares a stepping interpreter on m, defining the
+// script type vocabulary in m's registry if absent.
+func NewExecutor(m *vm.Mutator) *Executor {
+	return &Executor{m: m, types: defineScriptTypes(m.C.Space().Types)}
+}
+
+// Live returns the number of currently live handles.
+func (e *Executor) Live() int { return len(e.live) }
+
+// Newest returns the most recently acquired live handle (NilHandle
+// when none are live) — the sharded oracle publishes it cross-shard.
+func (e *Executor) Newest() gc.Handle {
+	if len(e.live) == 0 {
+		return gc.NilHandle
+	}
+	return e.live[len(e.live)-1].h
+}
+
+// Adopt appends a scope-independent handle (e.g. a consumed exchange
+// message) to the live list, making it eligible as an operand for
+// subsequent ops.
+func (e *Executor) Adopt(h gc.Handle) {
+	if h != gc.NilHandle {
+		e.live = append(e.live, liveEntry{h, -1})
+	}
+}
+
+// Close closes any scopes still open. A finished script must be
+// Closed before its heap is fingerprinted.
+func (e *Executor) Close() {
+	for e.depth > 0 {
+		e.closeScope()
+	}
+}
+
+func (e *Executor) pick(a byte) int { return int(a) % len(e.live) }
+
+func (e *Executor) closeScope() {
+	kept := e.live[:0]
+	for _, en := range e.live {
+		if en.depth != e.depth {
+			kept = append(kept, en)
 		}
 	}
-	for depth > 0 {
-		closeScope()
+	e.live = kept
+	e.depth--
+	e.m.Pop()
+}
+
+// Do executes one operation.
+func (e *Executor) Do(op Op) {
+	m := e.m
+	switch op.Kind {
+	case OpAlloc:
+		e.live = append(e.live, liveEntry{m.Alloc(e.types.node, 0), e.depth})
+	case OpAllocBig:
+		e.live = append(e.live, liveEntry{m.Alloc(e.types.big, 0), e.depth})
+	case OpAllocArr:
+		e.live = append(e.live, liveEntry{m.Alloc(e.types.arr, arrayLen(op.A)), e.depth})
+	case OpAllocWords:
+		e.live = append(e.live, liveEntry{m.Alloc(e.types.words, arrayLen(op.A)), e.depth})
+	case OpAllocLarge:
+		e.live = append(e.live, liveEntry{m.Alloc(e.types.arr, largeArrayLen), e.depth})
+	case OpAllocGlobal:
+		e.live = append(e.live, liveEntry{m.AllocGlobal(e.types.node, 0), -1})
+	case OpAllocPretenure:
+		e.live = append(e.live, liveEntry{m.AllocPretenuredGlobal(e.types.node, 0), -1})
+	case OpAllocImmortal:
+		e.live = append(e.live, liveEntry{m.AllocImmortal(e.types.node, 0), e.depth})
+	case OpSetRef:
+		if len(e.live) == 0 {
+			return
+		}
+		obj := e.live[e.pick(op.A)].h
+		if n := numRefSlots(m, obj); n > 0 {
+			m.SetRef(obj, int(op.B)%n, e.live[e.pick(op.C)].h)
+		}
+	case OpSetRefNil:
+		if len(e.live) == 0 {
+			return
+		}
+		obj := e.live[e.pick(op.A)].h
+		if n := numRefSlots(m, obj); n > 0 {
+			m.SetRefNil(obj, int(op.B)%n)
+		}
+	case OpGetRef:
+		if len(e.live) == 0 {
+			return
+		}
+		obj := e.live[e.pick(op.A)].h
+		if n := numRefSlots(m, obj); n > 0 {
+			if h := m.GetRef(obj, int(op.B)%n); h != gc.NilHandle {
+				e.live = append(e.live, liveEntry{h, e.depth})
+			}
+		}
+	case OpSetData:
+		if len(e.live) == 0 {
+			return
+		}
+		obj := e.live[e.pick(op.A)].h
+		if n := numDataWords(m, obj); n > 0 {
+			m.SetData(obj, int(op.B)%n, uint32(op.C))
+		}
+	case OpGetData:
+		if len(e.live) == 0 {
+			return
+		}
+		obj := e.live[e.pick(op.A)].h
+		if n := numDataWords(m, obj); n > 0 {
+			m.GetData(obj, int(op.B)%n)
+		}
+	case OpRelease:
+		if len(e.live) == 0 {
+			return
+		}
+		i := e.pick(op.A)
+		m.Release(e.live[i].h)
+		e.live[i] = e.live[len(e.live)-1]
+		e.live = e.live[:len(e.live)-1]
+	case OpKeep:
+		if len(e.live) == 0 {
+			return
+		}
+		e.live = append(e.live, liveEntry{m.Keep(e.live[e.pick(op.A)].h), -1})
+	case OpPush:
+		if e.depth < maxScopeDepth {
+			e.depth++
+			m.Push()
+		}
+	case OpPop:
+		if e.depth > 0 {
+			e.closeScope()
+		}
+	case OpWork:
+		m.Work(1 + int(op.A)%64)
+	case OpCollect:
+		m.Collect(false)
+	case OpCollectFull:
+		m.Collect(true)
 	}
 }
 

@@ -1,0 +1,232 @@
+package check
+
+import (
+	"fmt"
+
+	"beltway/internal/core"
+	"beltway/internal/gc"
+	"beltway/internal/shard"
+)
+
+// Sharded oracle: the differential oracle's answer to "is the
+// multi-mutator runtime still the same collector?". One script is
+// dealt round-robin over N shard mutators and cut into rounds; every
+// round boundary exchanges a value cross-shard (each shard publishes
+// its newest live handle and adopts its neighbor's stream), so the
+// shards are genuinely coupled, not N independent runs. The identical
+// schedule then executes two ways — concurrently on N goroutines
+// (shard.Runtime.Run) and replayed one shard at a time on one
+// goroutine (RunSerial) — and every mutator-observable outcome must
+// match per shard: validated live-graph fingerprints, allocation
+// serial streams, and OOM verdicts. Cost, pauses and telemetry remain
+// policy, exactly as in the flat oracle.
+
+// DefaultOpsPerRound is the round granularity of the sharded oracle:
+// small enough that a script cuts into several rounds (so exchange and
+// safepoint paths actually run), large enough that per-round overhead
+// doesn't dominate.
+const DefaultOpsPerRound = 64
+
+// ShardedRun is the sharded oracle's result for one configuration.
+type ShardedRun struct {
+	Shards    int
+	Rounds    int
+	HeapBytes int // per-shard heap budget
+	// Parallel and Serial hold per-shard outcomes of the two schedules,
+	// indexed by shard id.
+	Parallel []Outcome
+	Serial   []Outcome
+	// Divergences lists every disagreement (replay failures, OOM
+	// verdicts, serial streams, fingerprints) between the schedules.
+	Divergences []Divergence
+}
+
+// Failed reports whether the schedules diverged anywhere.
+func (r *ShardedRun) Failed() bool { return len(r.Divergences) > 0 }
+
+// String renders the divergence list, one per line.
+func (r *ShardedRun) String() string {
+	out := ""
+	for _, d := range r.Divergences {
+		out += d.String() + "\n"
+	}
+	return out
+}
+
+// DealScript partitions a script round-robin over n shards: op i goes
+// to shard i%n, order preserved within a shard. The interleaving is
+// the fixed schedule both execution modes replay.
+func DealScript(s Script, n int) []Script {
+	subs := make([]Script, n)
+	for i, op := range s {
+		subs[i%n] = append(subs[i%n], op)
+	}
+	return subs
+}
+
+// RunScriptSharded runs the sharded oracle for one configuration:
+// the script is dealt over the given number of shards, cut into
+// rounds of opsPerRound ops (DefaultOpsPerRound when <= 0), executed
+// concurrently and serially, and the per-shard outcomes diffed.
+// Every shard's heap uses the oracle sizing policy over the largest
+// dealt sub-script, so OOM verdicts stay comparable across shards and
+// configurations.
+func RunScriptSharded(script Script, cfg core.Config, shards, opsPerRound int) ShardedRun {
+	if opsPerRound <= 0 {
+		opsPerRound = DefaultOpsPerRound
+	}
+	subs := DealScript(script, shards)
+	heapBytes := 0
+	maxOps := 0
+	for _, sub := range subs {
+		if hb := HeapBytesFor(sub, OracleFrameBytes); hb > heapBytes {
+			heapBytes = hb
+		}
+		if len(sub) > maxOps {
+			maxOps = len(sub)
+		}
+	}
+	rounds := (maxOps + opsPerRound - 1) / opsPerRound
+	if rounds == 0 {
+		rounds = 1
+	}
+	cfg.HeapBytes = heapBytes
+	cfg.FrameBytes = OracleFrameBytes
+	cfg.PhysMemBytes = 0 // paging is a cost-model concern, not semantics
+
+	run := ShardedRun{Shards: shards, Rounds: rounds, HeapBytes: heapBytes}
+	var perr, serr error
+	run.Parallel, perr = runShardedSchedule(cfg, subs, rounds, opsPerRound, false)
+	run.Serial, serr = runShardedSchedule(cfg, subs, rounds, opsPerRound, true)
+	if perr != nil {
+		run.Divergences = append(run.Divergences,
+			Divergence{A: cfg.Name, Field: "replay", Detail: "parallel: " + perr.Error()})
+		return run
+	}
+	if serr != nil {
+		run.Divergences = append(run.Divergences,
+			Divergence{A: cfg.Name, Field: "replay", Detail: "serial: " + serr.Error()})
+		return run
+	}
+	for i := range run.Parallel {
+		a, b := run.Parallel[i], run.Serial[i]
+		if a.Err != "" || b.Err != "" {
+			if a.Err != b.Err {
+				run.Divergences = append(run.Divergences, Divergence{
+					A: a.Name, B: b.Name, Field: "replay",
+					Detail: fmt.Sprintf("parallel err %q vs serial err %q", a.Err, b.Err)})
+			} else {
+				run.Divergences = append(run.Divergences,
+					Divergence{A: a.Name, Field: "replay", Detail: a.Err})
+			}
+			continue
+		}
+		if a.OOM != b.OOM {
+			run.Divergences = append(run.Divergences, Divergence{
+				A: a.Name, B: b.Name, Field: "oom",
+				Detail: fmt.Sprintf("parallel OOM=%v vs serial OOM=%v", a.OOM, b.OOM)})
+		}
+		if d := diffSerials(a, b); d != "" {
+			run.Divergences = append(run.Divergences,
+				Divergence{A: a.Name, B: b.Name, Field: "serials", Detail: d})
+		}
+		if !a.OOM && !b.OOM && a.Fingerprint != b.Fingerprint {
+			run.Divergences = append(run.Divergences, Divergence{
+				A: a.Name, B: b.Name, Field: "graph",
+				Detail: diffLines(a.Fingerprint, b.Fingerprint)})
+		}
+	}
+	return run
+}
+
+// runShardedSchedule executes the dealt script once, on the parallel
+// or the serial schedule, returning per-shard outcomes.
+func runShardedSchedule(cfg core.Config, subs []Script, rounds, opsPerRound int, serial bool) ([]Outcome, error) {
+	shards := len(subs)
+	rt, err := shard.New(cfg, shard.Options{
+		Shards:       shards,
+		PerShardHeap: true, // cfg.HeapBytes is already the per-shard policy size
+		Validate:     true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	exs := make([]*Executor, shards)
+	taps := make([]*serialTap, shards)
+	plan := shard.Plan{
+		Rounds: rounds,
+		Body: func(r int, s *shard.Shard) {
+			ex := exs[s.ID]
+			if ex == nil {
+				ex = NewExecutor(s.M)
+				exs[s.ID] = ex
+				taps[s.ID] = &serialTap{m: s.M}
+				s.M.SetRecorder(taps[s.ID])
+			}
+			// Adopt the neighbor's committed stream before this round's
+			// ops, so exchanged values become operands.
+			if r > 0 {
+				if h := s.Consume((s.ID + 1) % shards); h != gc.NilHandle {
+					ex.Adopt(h)
+				}
+			}
+			sub := subs[s.ID]
+			lo := r * opsPerRound
+			if lo > len(sub) {
+				lo = len(sub)
+			}
+			hi := lo + opsPerRound
+			if hi > len(sub) {
+				hi = len(sub)
+			}
+			for _, op := range sub[lo:hi] {
+				ex.Do(op)
+				s.Poll()
+			}
+			if r == rounds-1 {
+				ex.Close()
+			}
+			// Publish the newest live value on this shard's channel for
+			// the neighbor to adopt next round.
+			if h := ex.Newest(); h != gc.NilHandle {
+				s.Publish(s.ID, h)
+			}
+		},
+	}
+	if serial {
+		err = rt.RunSerial(plan)
+	} else {
+		err = rt.Run(plan)
+	}
+	if err != nil {
+		return nil, err
+	}
+	mode := "par"
+	if serial {
+		mode = "ser"
+	}
+	outs := make([]Outcome, shards)
+	for i, s := range rt.Shards() {
+		out := Outcome{
+			Name:        fmt.Sprintf("%s/%s/shard%d", cfg.Name, mode, i),
+			Collections: s.Heap.Collections(),
+		}
+		if taps[i] != nil {
+			out.Serials = taps[i].serials
+		}
+		switch {
+		case s.OOM():
+			out.OOM = true
+		case s.Failure() != "":
+			out.Err = s.Failure()
+		default:
+			if cerr := s.V.Check(); cerr != nil {
+				out.Err = "validator: " + cerr.Error()
+			} else {
+				out.Fingerprint = s.V.LiveFingerprint()
+			}
+		}
+		outs[i] = out
+	}
+	return outs, nil
+}

@@ -47,6 +47,12 @@ type Env struct {
 	// (resilience.NewSchedule with the default horizon). Chaos testing
 	// only; leave zero for measurements.
 	FaultSeed int64 `json:",omitempty"`
+	// Mutators, when > 1, runs the benchmark on that many sharded
+	// mutator goroutines (internal/shard): each shard drives a private
+	// heap with the same configuration and its own decorrelated seed
+	// stream, and the measurement is the simulated N-core makespan.
+	// 0 and 1 both mean the classic single-mutator run.
+	Mutators int `json:",omitempty"`
 }
 
 // DefaultEnv mirrors the paper's testbed at scale 1: see EnvForScale.
@@ -86,6 +92,10 @@ type Result struct {
 	Collector string
 	Benchmark string
 	HeapBytes int
+	// Mutators records the shard count of a multi-mutator run (0 for the
+	// classic single-mutator path). Sharded results aggregate: TotalTime
+	// is the simulated N-core makespan, counters are summed over shards.
+	Mutators int `json:",omitempty"`
 
 	TotalTime float64 // cost units
 	GCTime    float64
@@ -147,6 +157,9 @@ func (r *Result) MMU(points int) mmu.Curve {
 // and a cost-budget abort via Result.Aborted; errors are reserved for
 // misconfiguration.
 func RunOne(cfg core.Config, bench *workload.Benchmark, env Env) (res *Result, err error) {
+	if env.Mutators > 1 {
+		return RunSharded(cfg, bench, env)
+	}
 	if env.Degrade {
 		cfg.Degrade = true
 	}

@@ -1,0 +1,119 @@
+package harness
+
+import (
+	"testing"
+
+	"beltway/internal/collectors"
+	"beltway/internal/core"
+	"beltway/internal/workload"
+)
+
+func shardedTestConfig(t *testing.T, env Env) core.Config {
+	t.Helper()
+	cfg, err := collectors.Parse("25.25.100", collectors.Options{
+		HeapBytes: 3 << 20, FrameBytes: env.FrameBytes, PhysMemBytes: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// TestRunShardedOverhead pins the acceptance bound on sharding overhead:
+// a 1-mutator sharded run must stay within 10% of the classic
+// single-mutator path on total time. Shard 0's seed stream is the
+// identity, so the workload is bit-identical and allocation volume must
+// match exactly; the sharded run only adds the round barrier and one
+// final rendezvoused collection.
+func TestRunShardedOverhead(t *testing.T) {
+	env := EnvForScale(0.25)
+	env.PhysMemBytes = 0
+	cfg := shardedTestConfig(t, env)
+	bench := workload.Jess()
+
+	flat, err := RunOne(cfg, bench, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Mutators = 1
+	sharded, err := RunSharded(cfg, bench, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.OOM || sharded.OOM {
+		t.Fatalf("unexpected OOM: flat=%v sharded=%v", flat.OOM, sharded.OOM)
+	}
+	if got, want := sharded.Counters.BytesAllocated, flat.Counters.BytesAllocated; got != want {
+		t.Fatalf("1-mutator sharded allocated %d bytes, flat %d — shard 0 must replay the flat stream", got, want)
+	}
+	ratio := sharded.TotalTime / flat.TotalTime
+	if ratio > 1.10 || ratio < 0.90 {
+		t.Fatalf("1-mutator sharded total time %.0f vs flat %.0f (ratio %.3f); want within 10%%",
+			sharded.TotalTime, flat.TotalTime, ratio)
+	}
+	if sharded.Mutators != 1 {
+		t.Fatalf("Mutators = %d, want 1", sharded.Mutators)
+	}
+}
+
+// TestRunShardedScaling pins the acceptance bound on scale-out: 8
+// mutators must deliver at least 3x the aggregate allocation+collection
+// throughput of 1, measured against the simulated N-core makespan (the
+// host's core count is irrelevant — shard clocks advance in cost units).
+func TestRunShardedScaling(t *testing.T) {
+	env := EnvForScale(0.25)
+	env.PhysMemBytes = 0
+	cfg := shardedTestConfig(t, env)
+	bench := workload.Jess()
+
+	throughput := func(n int) float64 {
+		env := env
+		env.Mutators = n
+		res, err := RunSharded(cfg, bench, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.OOM || res.Failure != "" {
+			t.Fatalf("%d mutators: OOM=%v failure=%q", n, res.OOM, res.Failure)
+		}
+		if res.TotalTime <= 0 {
+			t.Fatalf("%d mutators: non-positive makespan", n)
+		}
+		return float64(res.Counters.BytesAllocated+res.Counters.BytesCopied) / res.TotalTime
+	}
+	t1 := throughput(1)
+	t8 := throughput(8)
+	if t8 < 3*t1 {
+		t.Fatalf("8-mutator throughput %.2f B/cost vs 1-mutator %.2f: %.2fx, want >= 3x", t8, t1, t8/t1)
+	}
+}
+
+// TestRunOneDispatchesSharded checks the Env.Mutators routing: RunOne
+// with Mutators > 1 produces a sharded (aggregated) result.
+func TestRunOneDispatchesSharded(t *testing.T) {
+	env := EnvForScale(0.25)
+	env.PhysMemBytes = 0
+	env.Mutators = 2
+	cfg := shardedTestConfig(t, env)
+	res, err := RunOne(cfg, workload.DB(), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mutators != 2 {
+		t.Fatalf("Mutators = %d, want 2", res.Mutators)
+	}
+	if res.OOM {
+		t.Fatal("unexpected OOM")
+	}
+}
+
+// TestRunShardedRejectsFaults: the stateful fault injector cannot be
+// shared across concurrent shards.
+func TestRunShardedRejectsFaults(t *testing.T) {
+	env := EnvForScale(0.25)
+	env.Mutators = 2
+	env.FaultSeed = 7
+	cfg := shardedTestConfig(t, env)
+	if _, err := RunSharded(cfg, workload.Jess(), env); err == nil {
+		t.Fatal("want an error for fault injection with multiple mutators")
+	}
+}

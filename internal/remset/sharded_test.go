@@ -1,0 +1,139 @@
+package remset_test
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"beltway/internal/heap"
+	"beltway/internal/remset"
+	"beltway/internal/shard"
+)
+
+// modelTable is a brutally simple single-shard reference for Table: a
+// map from (src, tgt) to a slot set, collected in the same deterministic
+// order the real table promises (packed key ascending, slots ascending
+// within a set).
+type modelTable struct {
+	sets map[[2]heap.Frame]map[heap.Addr]bool
+}
+
+func newModel() *modelTable {
+	return &modelTable{sets: map[[2]heap.Frame]map[heap.Addr]bool{}}
+}
+
+func (m *modelTable) insert(src, tgt heap.Frame, slot heap.Addr) bool {
+	k := [2]heap.Frame{src, tgt}
+	if m.sets[k] == nil {
+		m.sets[k] = map[heap.Addr]bool{}
+	}
+	if m.sets[k][slot] {
+		return false
+	}
+	m.sets[k][slot] = true
+	return true
+}
+
+func (m *modelTable) deleteFrame(f heap.Frame) {
+	for k := range m.sets {
+		if k[0] == f || k[1] == f {
+			delete(m.sets, k)
+		}
+	}
+}
+
+func (m *modelTable) total() int {
+	n := 0
+	for _, s := range m.sets {
+		n += len(s)
+	}
+	return n
+}
+
+func (m *modelTable) collectRoots(condemned func(heap.Frame) bool) []heap.Addr {
+	var keys [][2]heap.Frame
+	for k := range m.sets {
+		if condemned(k[1]) && !condemned(k[0]) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a := uint64(keys[i][0])<<32 | uint64(keys[i][1])
+		b := uint64(keys[j][0])<<32 | uint64(keys[j][1])
+		return a < b
+	})
+	var out []heap.Addr
+	for _, k := range keys {
+		slots := make([]heap.Addr, 0, len(m.sets[k]))
+		for s := range m.sets[k] {
+			slots = append(slots, s)
+		}
+		sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+		out = append(out, slots...)
+		delete(m.sets, k)
+	}
+	return out
+}
+
+// TestShardedRoutingModel drives one Table through a long interleaved
+// schedule of inserts, frame deletions and root collections whose
+// source frames carry folded shard ids (shard.FoldFrame) — exactly the
+// key shape the cross-shard exchange routes through — and checks every
+// observable against the map-based single-shard model. The fold must be
+// invisible to the table: per-shard key spaces stay disjoint, dedup
+// stays per (folded src, tgt) pair, and collection order stays the
+// packed-key order.
+func TestShardedRoutingModel(t *testing.T) {
+	const shards = 4
+	rng := rand.New(rand.NewSource(20020617))
+	tb := remset.NewTable()
+	model := newModel()
+
+	frame := func() heap.Frame { return heap.Frame(rng.Intn(12)) }
+	slot := func() heap.Addr { return heap.Addr(0x1000 + 4*rng.Intn(64)) }
+
+	for step := 0; step < 6000; step++ {
+		sh := rng.Intn(shards) // the shard whose tail this op extends
+		switch op := rng.Intn(10); {
+		case op < 7: // insert a routed entry: folded src, channel tgt
+			src := shard.FoldFrame(sh, frame())
+			tgt := heap.Frame(rng.Intn(shards))
+			sl := slot()
+			got := tb.Insert(src, tgt, sl)
+			want := model.insert(src, tgt, sl)
+			if got != want {
+				t.Fatalf("step %d: Insert(%d,%d,%v) fresh=%v, model %v", step, src, tgt, sl, got, want)
+			}
+		case op < 8: // a shard's frame dies (its nursery was collected)
+			f := shard.FoldFrame(sh, frame())
+			tb.DeleteFrame(f)
+			model.deleteFrame(f)
+		case op < 9: // a channel's routes are consumed at the merge
+			ch := heap.Frame(rng.Intn(shards))
+			cond := func(f heap.Frame) bool { return f == ch }
+			got := tb.CollectRoots(cond)
+			want := model.collectRoots(cond)
+			if len(got) != len(want) {
+				t.Fatalf("step %d: CollectRoots(ch %d) %d roots, model %d", step, ch, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("step %d: root %d = %v, model %v", step, i, got[i], want[i])
+				}
+			}
+		default: // condemn one shard's whole folded key space
+			cond := func(f heap.Frame) bool {
+				id, _ := shard.UnfoldFrame(f)
+				return id == sh
+			}
+			got := tb.CollectRoots(cond)
+			want := model.collectRoots(cond)
+			if len(got) != len(want) {
+				t.Fatalf("step %d: shard-condemn(%d) %d roots, model %d", step, sh, len(got), len(want))
+			}
+		}
+		if tb.TotalEntries() != model.total() {
+			t.Fatalf("step %d: TotalEntries %d, model %d", step, tb.TotalEntries(), model.total())
+		}
+	}
+}

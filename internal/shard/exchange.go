@@ -1,0 +1,127 @@
+package shard
+
+import (
+	"beltway/internal/heap"
+	"beltway/internal/remset"
+)
+
+// Cross-shard references.
+//
+// Shards own disjoint heaps, and every collector in this codebase moves
+// objects, so a raw address must never cross a shard boundary: the
+// moment the owning shard collects, a foreign pointer is stale. The
+// exchange instead routes references *by value* through channels with
+// epoch (round) granularity:
+//
+//   - Publish snapshots the object's data payload into the shard's
+//     private pending tail, and records the route in the shard's
+//     pending remset.Table — the same packed uint64 (src<<32|tgt) key
+//     machinery the collectors use, with the shard id folded into the
+//     source frame index (FoldFrame) and the channel as the target
+//     frame. The fast path is shard-private: no locks, no shared
+//     memory.
+//   - At the next safepoint the coordinator merges every shard's
+//     pending tail — in ascending shard order, so the committed state
+//     is schedule-independent — into the committed routing table and
+//     the per-channel message queues.
+//   - Consume reads only committed (immutable during a round) state
+//     and materializes the payload as a fresh allocation in the
+//     consuming shard's own heap, advancing a per-shard cursor, so
+//     concurrent consumers never contend and every shard sees the
+//     full stream (broadcast semantics).
+//
+// The committed exchange state is therefore a pure function of
+// per-shard round outcomes, which is what makes the parallel schedule
+// bit-replayable on one goroutine (see Runtime.RunSerial).
+
+// shardFrameBits is where the shard id is folded into a routing frame
+// index. Real frame indexes are far below 2^24 (a 2^24-frame heap at
+// the minimum 256-byte frame would be 4 GiB of simulated memory), so
+// the fold is collision-free for any configuration the simulator runs.
+const shardFrameBits = 24
+
+// FoldFrame folds a shard id into a frame index, producing the source
+// key frame used to route that shard's publishes through a
+// remset.Table. Distinct shards map the same physical frame index to
+// distinct key spaces, exactly like a per-shard arena prefix.
+func FoldFrame(shardID int, f heap.Frame) heap.Frame {
+	return f | heap.Frame(shardID)<<shardFrameBits
+}
+
+// UnfoldFrame splits a folded routing frame back into (shard, frame).
+func UnfoldFrame(f heap.Frame) (shardID int, frame heap.Frame) {
+	return int(f >> shardFrameBits), f & (1<<shardFrameBits - 1)
+}
+
+// Message is one published value in flight between shards: the
+// publisher's id, a publish sequence number unique within the
+// publisher, and the snapshotted data payload.
+type Message struct {
+	From  int
+	Seq   uint32
+	Words []uint32
+}
+
+// route is one pending routing-table entry, kept in publish order so
+// the merge is deterministic (the Table itself is a set).
+type route struct {
+	src, tgt heap.Frame
+	slot     heap.Addr
+}
+
+// pendingExchange is a shard's private, lock-free (single-owner)
+// exchange tail: messages and routes staged since the last safepoint.
+type pendingExchange struct {
+	table  *remset.Table // dedup/index over routes, packed-key keyed
+	routes []route       // fresh inserts in publish order
+	msgs   []Message     // payload queue in publish order
+	chans  []int         // msgs[i] targets channel chans[i]
+	seq    uint32        // publish sequence counter (never reset)
+}
+
+func newPendingExchange() *pendingExchange {
+	return &pendingExchange{table: remset.NewTable()}
+}
+
+// stage records one publish. The remset table dedups routes (it has
+// set semantics, like the collectors' remsets); the message queue is
+// the authoritative payload order.
+func (p *pendingExchange) stage(src, tgt heap.Frame, slot heap.Addr, ch int, m Message) {
+	if p.table.Insert(src, tgt, slot) {
+		p.routes = append(p.routes, route{src, tgt, slot})
+	}
+	p.msgs = append(p.msgs, m)
+	p.chans = append(p.chans, ch)
+}
+
+// committedExchange is the runtime's merged exchange state. It is
+// written only by the coordinator at safepoints and read-only during
+// rounds, so shard goroutines access it without synchronization.
+type committedExchange struct {
+	routes *remset.Table // merged routing table across all shards
+	queues map[int][]Message
+	merged int // routing entries merged over the run (telemetry)
+}
+
+func newCommittedExchange() *committedExchange {
+	return &committedExchange{routes: remset.NewTable(), queues: map[int][]Message{}}
+}
+
+// merge drains one shard's pending tail into the committed state.
+// Callers merge shards in ascending id order; within one shard,
+// publish order is preserved — together that fixes the committed
+// state independent of the parallel schedule.
+func (c *committedExchange) merge(p *pendingExchange) {
+	for _, r := range p.routes {
+		if c.routes.Insert(r.src, r.tgt, r.slot) {
+			c.merged++
+		}
+	}
+	p.routes = p.routes[:0]
+	for i, m := range p.msgs {
+		ch := p.chans[i]
+		c.queues[ch] = append(c.queues[ch], m)
+	}
+	p.msgs = p.msgs[:0]
+	p.chans = p.chans[:0]
+}

@@ -1,0 +1,121 @@
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// safepoint coordinates rendezvous between N mutator goroutines and the
+// runtime coordinator. Mutators reach it two ways:
+//
+//   - at every round boundary (arrive), which is the only place the
+//     runtime takes semantic action (exchange merge, global collection);
+//   - mid-round through Shard.Poll, a cheap check piggybacked on the
+//     cost-unit clock that parks the mutator without any semantic
+//     effect when a stop has been requested.
+//
+// Because a mid-round park is purely a scheduling event — the shard
+// neither observes nor mutates shared state while parked, and parking
+// charges nothing to its cost clock — a run with safepoint stops
+// interleaved is observably identical to one without, which is what
+// keeps the parallel schedule replayable serially.
+type safepoint struct {
+	// stop is the poll word: non-zero when mutators should park at
+	// their next poll. A single atomic load on the fast path.
+	stop atomic.Uint32
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parked  int // mutators currently parked (mid-round polls only)
+	arrived int // mutators parked at the round barrier
+	gen     uint64
+}
+
+func newSafepoint() *safepoint {
+	sp := &safepoint{}
+	sp.cond = sync.NewCond(&sp.mu)
+	return sp
+}
+
+// request asks every polling mutator to park at its next poll.
+func (sp *safepoint) request() {
+	sp.stop.Store(1)
+}
+
+// requested reports whether a stop is pending (the poll fast path).
+func (sp *safepoint) requested() bool { return sp.stop.Load() != 0 }
+
+// park blocks the calling mutator until the coordinator releases the
+// current stop. Called from Shard.Poll when a stop is pending.
+func (sp *safepoint) park() {
+	sp.mu.Lock()
+	gen := sp.gen
+	sp.parked++
+	sp.cond.Broadcast() // wake a coordinator waiting in waitParked
+	for sp.gen == gen && sp.stop.Load() != 0 {
+		sp.cond.Wait()
+	}
+	sp.parked--
+	sp.cond.Broadcast() // wake a coordinator draining in release
+	sp.mu.Unlock()
+}
+
+// waitParked blocks the coordinator until n mutators are parked
+// (mid-round polls) — used by tests and mid-round stops.
+func (sp *safepoint) waitParked(n int) {
+	sp.mu.Lock()
+	for sp.parked < n {
+		sp.cond.Wait()
+	}
+	sp.mu.Unlock()
+}
+
+// release lifts the stop, wakes every parked mutator, and blocks until
+// they have all left the safepoint — so a parked count observed by the
+// next stop can never include stale parkers from this one.
+func (sp *safepoint) release() {
+	sp.mu.Lock()
+	sp.stop.Store(0)
+	sp.gen++
+	sp.cond.Broadcast()
+	for sp.parked > 0 {
+		sp.cond.Wait()
+	}
+	sp.mu.Unlock()
+}
+
+// arrive parks the calling mutator at the round barrier and blocks
+// until the coordinator finishes barrier work and opens the next
+// round. The coordinator counts arrivals with waitArrived and opens
+// the round with openRound.
+func (sp *safepoint) arrive() {
+	sp.mu.Lock()
+	gen := sp.gen
+	sp.arrived++
+	sp.cond.Broadcast()
+	for sp.gen == gen {
+		sp.cond.Wait()
+	}
+	sp.mu.Unlock()
+}
+
+// waitArrived blocks the coordinator until n mutators have arrived at
+// the barrier.
+func (sp *safepoint) waitArrived(n int) {
+	sp.mu.Lock()
+	for sp.arrived < n {
+		sp.cond.Wait()
+	}
+	sp.mu.Unlock()
+}
+
+// openRound resets the barrier and releases every arrived mutator into
+// the next round.
+func (sp *safepoint) openRound() {
+	sp.mu.Lock()
+	sp.arrived = 0
+	sp.stop.Store(0)
+	sp.gen++
+	sp.cond.Broadcast()
+	sp.mu.Unlock()
+}

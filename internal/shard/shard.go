@@ -1,0 +1,215 @@
+// Package shard scales the simulator from one mutator to N: each shard
+// is a full mutator goroutine driving its own belts-and-increments heap
+// (private nursery and mature belts, private cost clock, private
+// telemetry), with cross-shard references routed by value through the
+// packed remset.Table key machinery and all cross-shard coordination
+// confined to poll-based safepoints at round boundaries.
+//
+// The design invariant is *schedule independence*: within a round,
+// shards interact with nothing but their own state and the immutable
+// committed exchange; between rounds, the coordinator merges per-shard
+// tails in ascending shard order. Every observable per-shard outcome —
+// allocation serials, live-graph fingerprint, OOM verdict — is
+// therefore a pure function of (config, seed, plan), identical whether
+// the rounds ran on N goroutines or were replayed one shard at a time
+// on one goroutine. Runtime.Run and Runtime.RunSerial are those two
+// schedules, and internal/check's sharded oracle diffs them.
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+
+	"beltway/internal/core"
+	"beltway/internal/gc"
+	"beltway/internal/heap"
+	"beltway/internal/stats"
+	"beltway/internal/telemetry"
+	"beltway/internal/vm"
+)
+
+// msgTypeName is the type every consumed exchange message materializes
+// as: a word array holding [seq, payload...] as published.
+const msgTypeName = "xchg.msg"
+
+// Shard is one mutator lane: a private heap, mutator facade, RNG
+// stream, telemetry run and exchange tail. All methods are owner-only —
+// exactly one goroutine drives a shard at a time (the runtime enforces
+// this; shards have no internal locking on their fast paths).
+type Shard struct {
+	ID int
+	// Heap is the shard's private collector instance; allocation, write
+	// barriers and nursery collections all happen here, shard-locally
+	// and lock-free with respect to every other shard.
+	Heap *core.Heap
+	// M is the vm facade the shard's workload drives.
+	M *vm.Mutator
+	// V is the shadow-graph validator, non-nil in oracle mode.
+	V *vm.Validator
+	// Rng is the shard's private workload stream, seeded by
+	// StreamSeed(baseSeed, ID).
+	Rng *rand.Rand
+	// Tele is the shard's private flight recorder + metrics registry,
+	// non-nil when the runtime was built with Options.Telemetry. One
+	// recorder per shard keeps hook emission single-owner; the runtime
+	// merges snapshots at aggregation (telemetry.MergeRunSnapshots).
+	Tele *telemetry.Run
+
+	rt      *Runtime
+	pending *pendingExchange
+	cursors map[int]int // per-channel consume cursor (broadcast streams)
+	msgType *heap.TypeDesc
+
+	dead    bool  // shard hit OOM (or failed); skips remaining rounds
+	oomErr  error // the OOM that killed it
+	aborted bool  // shard hit its cost budget (stats.BudgetExceeded)
+	failure string
+
+	lastPoll float64 // clock reading at the last safepoint poll
+	polls    uint64  // polls taken (telemetry)
+	pubs     uint64  // messages published
+	cons     uint64  // messages consumed
+}
+
+// Dead reports whether the shard stopped early (OOM or failure).
+func (s *Shard) Dead() bool { return s.dead }
+
+// OOM reports whether the shard ended in out-of-memory (as opposed to
+// running to completion or failing some other way).
+func (s *Shard) OOM() bool { return s.oomErr != nil }
+
+// Aborted reports whether the shard was stopped by its clock's cost
+// budget (the deterministic analog of a timeout).
+func (s *Shard) Aborted() bool { return s.aborted }
+
+// Failure returns the non-OOM failure that stopped the shard ("" when
+// none).
+func (s *Shard) Failure() string { return s.failure }
+
+// Err returns the error that stopped the shard, or nil.
+func (s *Shard) Err() error {
+	if s.oomErr != nil {
+		return s.oomErr
+	}
+	if s.failure != "" {
+		return fmt.Errorf("shard %d: %s", s.ID, s.failure)
+	}
+	return nil
+}
+
+// Polls returns the number of safepoint polls the shard has taken.
+func (s *Shard) Polls() uint64 { return s.polls }
+
+// Poll is the shard's safepoint check, called from workload code at
+// convenient points (the sharded oracle polls between script ops).
+// It piggybacks on the cost-unit clock: the atomic stop-word load is
+// only taken once the shard's clock has advanced pollIntervalCost
+// units since the last poll, so polling frequency is a deterministic
+// function of the shard's own simulated timeline, not of wall-clock
+// scheduling. Parking charges nothing to the clock — a stop is
+// observationally free, which keeps fixed schedules replayable.
+func (s *Shard) Poll() {
+	now := s.Heap.Clock().Now()
+	if now-s.lastPoll < s.rt.pollInterval {
+		return
+	}
+	s.lastPoll = now
+	s.polls++
+	if s.rt.sp.requested() {
+		s.rt.sp.park()
+	}
+}
+
+// Publish snapshots the data payload of the object h refers to and
+// stages it on channel ch. The route is recorded in the shard's
+// pending remset.Table under a packed key whose source frame folds the
+// shard id into the object's frame index; the payload is staged in
+// publish order. Nothing is visible to other shards until the next
+// safepoint merge. Reading the payload goes through the vm facade, so
+// it is charged to the shard's clock and observed by the validator
+// like any other field traffic.
+func (s *Shard) Publish(ch int, h gc.Handle) {
+	if h == gc.NilHandle {
+		return
+	}
+	n := s.numDataWords(h)
+	words := make([]uint32, 1+n)
+	s.pending.seq++
+	words[0] = s.pending.seq
+	for i := 0; i < n; i++ {
+		words[1+i] = s.M.GetData(h, i)
+	}
+	addr := s.Heap.Roots().Get(h)
+	f := s.Heap.Space().FrameOf(addr)
+	s.pending.stage(FoldFrame(s.ID, f), heap.Frame(ch), addr, ch,
+		Message{From: s.ID, Seq: s.pending.seq, Words: words})
+	s.pubs++
+}
+
+// Consume materializes the next unconsumed committed message on
+// channel ch as a fresh word-array allocation in this shard's heap,
+// returning a scope-independent handle (NilHandle when the channel has
+// no further committed messages). Each shard consumes the stream
+// independently — broadcast, not work-stealing — so consumption never
+// touches shared mutable state.
+func (s *Shard) Consume(ch int) gc.Handle {
+	q := s.rt.committed.queues[ch]
+	cur := s.cursors[ch]
+	if cur >= len(q) {
+		return gc.NilHandle
+	}
+	m := q[cur]
+	s.cursors[ch] = cur + 1
+	if s.msgType == nil {
+		if t := s.Heap.Space().Types.Lookup(msgTypeName); t != nil {
+			s.msgType = t
+		} else {
+			s.msgType = s.Heap.Space().Types.DefineWordArray(msgTypeName)
+		}
+	}
+	h := s.M.AllocGlobal(s.msgType, len(m.Words))
+	for i, w := range m.Words {
+		s.M.SetData(h, i, w)
+	}
+	s.cons++
+	return h
+}
+
+// numDataWords mirrors the script interpreter's payload rule: scalars
+// expose their data words, word arrays their elements, ref arrays
+// nothing (references never cross shards by address).
+func (s *Shard) numDataWords(h gc.Handle) int {
+	t := s.M.TypeOf(h)
+	switch t.Kind {
+	case heap.Scalar:
+		return t.DataWords
+	case heap.WordArray:
+		return s.M.Length(h)
+	default:
+		return 0
+	}
+}
+
+// runRound executes one round body on the shard, converting OOM into
+// the shard's terminal verdict and recovering panics into a recorded
+// failure (a deterministic panic reproduces identically in the serial
+// replay, so the verdict stays comparable).
+func (s *Shard) runRound(round int, body func(round int, s *Shard)) {
+	if s.dead {
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			s.dead = true
+			if _, ok := r.(stats.BudgetExceeded); ok {
+				s.aborted = true
+				return
+			}
+			s.failure = fmt.Sprintf("panic in round %d: %v", round, r)
+		}
+	}()
+	if err := s.M.Run(func() { body(round, s) }); err != nil {
+		s.dead = true
+		s.oomErr = err
+	}
+}

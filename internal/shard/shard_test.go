@@ -1,0 +1,350 @@
+package shard
+
+import (
+	"testing"
+
+	"beltway/internal/collectors"
+	"beltway/internal/core"
+	"beltway/internal/gc"
+	"beltway/internal/heap"
+)
+
+// testConfig is a small older-first configuration: 4 KiB frames, 256 KiB
+// heap per shard — big enough to run the test bodies, small enough that
+// every shard collects many times.
+func testConfig() core.Config {
+	return collectors.XX100(25, collectors.Options{HeapBytes: 256 << 10, FrameBytes: 4 << 10})
+}
+
+func newTestRuntime(t *testing.T, shards int, validate bool) *Runtime {
+	t.Helper()
+	rt, err := New(testConfig(), Options{
+		Shards:       shards,
+		Seed:         20020617,
+		PerShardHeap: true,
+		Validate:     validate,
+		Telemetry:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+// testPlan builds a deterministic rounds plan: every shard allocates a
+// linked chain with RNG-derived payloads, keeps the chain head alive
+// across rounds, publishes it to its own channel and consumes the next
+// shard's stream — exercising allocation, barriers, collection,
+// exchange and polling on every shard every round.
+func testPlan(shards, rounds int) Plan {
+	return Plan{
+		Rounds:       rounds,
+		CollectEvery: 2,
+		Body: func(r int, s *Shard) {
+			types := s.Heap.Space().Types
+			node := types.Lookup("t.node")
+			if node == nil {
+				node = types.DefineScalar("t.node", 2, 4)
+			}
+			s.M.Push()
+			var last gc.Handle
+			for i := 0; i < 40; i++ {
+				h := s.M.Alloc(node, 0)
+				s.M.SetData(h, 0, uint32(s.Rng.Intn(1<<16)))
+				s.M.SetData(h, 1, uint32(r))
+				s.M.SetRef(h, 0, last)
+				last = h
+				s.M.Work(1 + s.Rng.Intn(4))
+				s.Poll()
+			}
+			kept := s.M.Keep(last)
+			s.M.Pop()
+			s.Publish(s.ID, kept)
+			if h := s.Consume((s.ID + 1) % shards); h != gc.NilHandle {
+				// Fold the consumed payload back into local state so the
+				// exchange affects the live graph.
+				n := s.M.Length(h)
+				sum := uint32(0)
+				for i := 0; i < n; i++ {
+					sum += s.M.GetData(h, i)
+				}
+				s.M.SetData(kept, 2, sum)
+			}
+		},
+	}
+}
+
+// TestParallelMatchesSerial is the package's core determinism claim:
+// the same plan executed on N goroutines (Run) and replayed one shard
+// at a time on one goroutine (RunSerial) yields bit-identical
+// per-shard outcomes — validated live graphs, clocks, and counters.
+func TestParallelMatchesSerial(t *testing.T) {
+	const shards, rounds = 4, 6
+	par := newTestRuntime(t, shards, true)
+	ser := newTestRuntime(t, shards, true)
+	if err := par.Run(testPlan(shards, rounds)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ser.RunSerial(testPlan(shards, rounds)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range par.Shards() {
+		p, q := par.Shards()[i], ser.Shards()[i]
+		if p.Dead() || q.Dead() {
+			t.Fatalf("shard %d died: parallel=%v serial=%v", i, p.Err(), q.Err())
+		}
+		if err := p.V.Check(); err != nil {
+			t.Fatalf("shard %d parallel validator: %v", i, err)
+		}
+		if err := q.V.Check(); err != nil {
+			t.Fatalf("shard %d serial validator: %v", i, err)
+		}
+		pf, qf := p.V.LiveFingerprint(), q.V.LiveFingerprint()
+		if pf != qf {
+			t.Errorf("shard %d live fingerprints diverge between schedules", i)
+		}
+		if pt, qt := p.Heap.Clock().TotalTime(), q.Heap.Clock().TotalTime(); pt != qt {
+			t.Errorf("shard %d clocks diverge: parallel %v serial %v", i, pt, qt)
+		}
+		if p.Heap.Clock().Counters != q.Heap.Clock().Counters {
+			t.Errorf("shard %d counters diverge:\nparallel %+v\nserial   %+v",
+				i, p.Heap.Clock().Counters, q.Heap.Clock().Counters)
+		}
+		if pc, qc := p.Heap.Collections(), q.Heap.Collections(); pc != qc {
+			t.Errorf("shard %d collections diverge: %d vs %d", i, pc, qc)
+		}
+	}
+	pr, sr := par.Result(), ser.Result()
+	if pr.Makespan != sr.Makespan {
+		t.Errorf("makespan diverges: parallel %v serial %v", pr.Makespan, sr.Makespan)
+	}
+	if pr.RoutedEntries != sr.RoutedEntries {
+		t.Errorf("routed entries diverge: %d vs %d", pr.RoutedEntries, sr.RoutedEntries)
+	}
+	if pr.RoutedEntries == 0 {
+		t.Error("no routing entries merged; the exchange never ran")
+	}
+}
+
+// TestShardOOMDeterministic starves the shards (4-frame minimum heaps,
+// ever-growing global live set) and checks the OOM verdicts agree
+// between the parallel and serial schedules.
+func TestShardOOMDeterministic(t *testing.T) {
+	cfg := testConfig()
+	cfg.HeapBytes = 16 << 10 // 4 frames: guaranteed starvation
+	build := func() *Runtime {
+		rt, err := New(cfg, Options{Shards: 3, Seed: 7, PerShardHeap: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rt
+	}
+	plan := Plan{
+		Rounds: 8,
+		Body: func(r int, s *Shard) {
+			types := s.Heap.Space().Types
+			node := types.Lookup("t.node")
+			if node == nil {
+				node = types.DefineScalar("t.node", 1, 2)
+			}
+			for i := 0; i < 64; i++ {
+				s.M.AllocGlobal(node, 0) // immortal from the roots' view: never released
+				s.Poll()
+			}
+		},
+	}
+	par, ser := build(), build()
+	if err := par.Run(plan); err != nil {
+		t.Fatal(err)
+	}
+	if err := ser.RunSerial(plan); err != nil {
+		t.Fatal(err)
+	}
+	anyOOM := false
+	for i := range par.Shards() {
+		p, q := par.Shards()[i], ser.Shards()[i]
+		if (p.oomErr != nil) != (q.oomErr != nil) {
+			t.Errorf("shard %d OOM verdicts diverge: parallel=%v serial=%v", i, p.oomErr, q.oomErr)
+		}
+		if p.failure != q.failure {
+			t.Errorf("shard %d failures diverge: %q vs %q", i, p.failure, q.failure)
+		}
+		if p.oomErr != nil {
+			anyOOM = true
+		}
+	}
+	if !anyOOM {
+		t.Error("expected at least one shard to OOM under a 4-frame heap")
+	}
+	if !par.Result().OOM {
+		t.Error("Result.OOM not set despite shard OOM")
+	}
+}
+
+// TestScalingMakespan checks the point of the exercise: with 4 shards
+// doing equal work, the simulated elapsed time is much less than the
+// aggregate work — the makespan reflects an N-core machine.
+func TestScalingMakespan(t *testing.T) {
+	const shards = 4
+	rt := newTestRuntime(t, shards, false)
+	if err := rt.Run(testPlan(shards, 6)); err != nil {
+		t.Fatal(err)
+	}
+	res := rt.Result()
+	if res.Makespan <= 0 || res.TotalCost <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+	if res.Makespan > res.TotalCost/2 {
+		t.Errorf("makespan %v not < half of aggregate work %v across %d shards",
+			res.Makespan, res.TotalCost, shards)
+	}
+	if res.Throughput() <= 0 {
+		t.Error("zero aggregate throughput")
+	}
+}
+
+// TestGCWorkerPolicy checks that the STW (GCWorkers=1) and fanned-out
+// (GCWorkers=0 → one per shard) global-collection paths produce
+// identical heap outcomes and differ only in makespan attribution
+// (sum vs max).
+func TestGCWorkerPolicy(t *testing.T) {
+	const shards, rounds = 3, 4
+	build := func(workers int) *Runtime {
+		rt, err := New(testConfig(), Options{
+			Shards: shards, Seed: 99, PerShardHeap: true, GCWorkers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rt
+	}
+	stw, fan := build(1), build(0)
+	if err := stw.Run(testPlan(shards, rounds)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fan.Run(testPlan(shards, rounds)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range stw.Shards() {
+		a, b := stw.Shards()[i], fan.Shards()[i]
+		if a.Heap.Clock().Counters != b.Heap.Clock().Counters {
+			t.Errorf("shard %d counters differ between STW and fan-out", i)
+		}
+		if a.Heap.Collections() != b.Heap.Collections() {
+			t.Errorf("shard %d collection counts differ between STW and fan-out", i)
+		}
+	}
+	if stw.GCMakespan() < fan.GCMakespan() {
+		t.Errorf("STW GC makespan %v < fan-out %v; sum should dominate max",
+			stw.GCMakespan(), fan.GCMakespan())
+	}
+}
+
+// TestMergedTelemetry checks per-shard recorders merge into one
+// well-formed stream with summed metrics.
+func TestMergedTelemetry(t *testing.T) {
+	const shards = 3
+	rt := newTestRuntime(t, shards, false)
+	if err := rt.Run(testPlan(shards, 4)); err != nil {
+		t.Fatal(err)
+	}
+	snap := rt.MergedTelemetry()
+	if snap == nil || snap.Metrics == nil {
+		t.Fatal("no merged telemetry")
+	}
+	var want uint64
+	for _, s := range rt.Shards() {
+		want += s.Heap.Collections()
+	}
+	if got := snap.Metrics.Counters["gc_collections_total"]; got != want {
+		t.Errorf("merged collections counter %d, want %d", got, want)
+	}
+	for i := 1; i < len(snap.Events); i++ {
+		if snap.Events[i].Time < snap.Events[i-1].Time {
+			t.Fatalf("merged events out of time order at %d", i)
+		}
+		if snap.Events[i].Seq != snap.Events[i-1].Seq+1 {
+			t.Fatalf("merged events not re-stamped at %d", i)
+		}
+	}
+}
+
+func TestFoldFrame(t *testing.T) {
+	cases := []struct {
+		shard int
+		frame heap.Frame
+	}{{0, 0}, {0, 12345}, {3, 7}, {7, 1<<shardFrameBits - 1}, {255, 42}}
+	for _, c := range cases {
+		folded := FoldFrame(c.shard, c.frame)
+		id, f := UnfoldFrame(folded)
+		if id != c.shard || f != c.frame {
+			t.Errorf("FoldFrame(%d, %d) round-trips to (%d, %d)", c.shard, c.frame, id, f)
+		}
+	}
+	if FoldFrame(1, 10) == FoldFrame(2, 10) {
+		t.Error("distinct shards fold the same frame to the same key space")
+	}
+}
+
+// TestExchangeBroadcast checks the committed queues are broadcast
+// streams: every consumer sees every committed message, in committed
+// order, via a private cursor.
+func TestExchangeBroadcast(t *testing.T) {
+	const shards = 3
+	rt := newTestRuntime(t, shards, false)
+	plan := Plan{
+		Rounds: 2,
+		Body: func(r int, s *Shard) {
+			types := s.Heap.Space().Types
+			wt := types.Lookup("t.words")
+			if wt == nil {
+				wt = types.DefineWordArray("t.words")
+			}
+			if r == 0 {
+				h := s.M.AllocGlobal(wt, 2)
+				s.M.SetData(h, 0, uint32(100+s.ID))
+				s.M.SetData(h, 1, uint32(200+s.ID))
+				s.Publish(0, h) // everyone publishes on channel 0
+				return
+			}
+			// Round 1: every shard drains channel 0 and must see all
+			// three messages, in shard-id (merge) order.
+			for want := 0; want < shards; want++ {
+				h := s.Consume(0)
+				if h == gc.NilHandle {
+					panic("missing committed message")
+				}
+				// Words[0] is the publish seq; payload starts at 1.
+				if got := s.M.GetData(h, 1); got != uint32(100+want) {
+					panic("out-of-order exchange stream")
+				}
+			}
+			if s.Consume(0) != gc.NilHandle {
+				panic("phantom message")
+			}
+		},
+	}
+	if err := rt.Run(plan); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range rt.Shards() {
+		if s.Dead() {
+			t.Fatalf("shard %d: %v", s.ID, s.Err())
+		}
+	}
+	if rt.RoutedEntries() != shards {
+		t.Errorf("routed entries %d, want %d", rt.RoutedEntries(), shards)
+	}
+}
+
+// TestRuntimeSingleUse guards the one-plan-per-runtime rule.
+func TestRuntimeSingleUse(t *testing.T) {
+	rt := newTestRuntime(t, 1, false)
+	p := testPlan(1, 1)
+	if err := rt.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Run(p); err == nil {
+		t.Error("second Run on one runtime should fail")
+	}
+}

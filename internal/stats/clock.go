@@ -1,6 +1,9 @@
 package stats
 
-import "fmt"
+import (
+	"fmt"
+	"reflect"
+)
 
 // Clock is the deterministic timeline of a single run. All mutator and
 // collector work is charged to the clock in cost units; pauses (intervals
@@ -74,6 +77,17 @@ type Counters struct {
 	MRLinesReclaimed  uint64 // lines returned to free runs by sweeps and unmaps
 	MRFramesSwept     uint64 // frames swept in place and kept
 	MRFramesEvacuated uint64 // sparse frames emptied through the copy path
+}
+
+// Add accumulates o into c field-wise. Aggregation across the mutator
+// shards of a multi-mutator run; every field is a uint64 work count, so
+// the reflection loop stays correct as counters are added.
+func (c *Counters) Add(o Counters) {
+	cv := reflect.ValueOf(c).Elem()
+	ov := reflect.ValueOf(o)
+	for i := 0; i < cv.NumField(); i++ {
+		cv.Field(i).SetUint(cv.Field(i).Uint() + ov.Field(i).Uint())
+	}
 }
 
 // NewClock returns a clock using the given cost model.

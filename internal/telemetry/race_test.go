@@ -1,0 +1,157 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentMetricEmission hammers one shared Registry's counters,
+// gauges and histograms from N goroutines. Run under -race (CI does)
+// this proves the metric primitives are safe for concurrent shard
+// emission; the value assertions prove no increments were lost.
+func TestConcurrentMetricEmission(t *testing.T) {
+	const goroutines = 8
+	const perG = 5000
+
+	reg := NewRegistry()
+	ctr := reg.NewCounter("race_ops_total", "ops")
+	gauge := reg.NewGauge("race_level", "level")
+	hist := reg.NewHistogram("race_cost", "cost")
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				ctr.Inc()
+				ctr.Add(2)
+				gauge.Set(float64(g*perG + i))
+				hist.Observe(float64(i % 512))
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got, want := ctr.Value(), uint64(goroutines*perG*3); got != want {
+		t.Fatalf("counter lost increments: %d, want %d", got, want)
+	}
+	if got, want := hist.Count(), uint64(goroutines*perG); got != want {
+		t.Fatalf("histogram lost observations: %d, want %d", got, want)
+	}
+	if max := hist.Max(); max != 511 {
+		t.Fatalf("histogram max %v, want 511", max)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["race_ops_total"] != uint64(goroutines*perG*3) {
+		t.Fatalf("snapshot counter %d", snap.Counters["race_ops_total"])
+	}
+}
+
+// TestConcurrentSnapshotWhileEmitting snapshots a Registry from one
+// goroutine while 8 others hammer its metrics — the pattern of a live
+// HTTP metrics endpoint scraping mid-run. Registration itself is
+// single-owner by design (duplicate names panic), so each goroutine
+// gets its own pre-registered counter.
+func TestConcurrentSnapshotWhileEmitting(t *testing.T) {
+	reg := NewRegistry()
+	ctrs := make([]*Counter, 8)
+	for g := range ctrs {
+		ctrs[g] = reg.NewCounter(fmt.Sprintf("race_g%d_total", g), "c")
+	}
+	hist := reg.NewHistogram("race_snapshot_cost", "cost")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				ctrs[g].Inc()
+				hist.Observe(float64(i))
+				if i%256 == 0 {
+					_ = reg.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	snap := reg.Snapshot()
+	total := uint64(0)
+	for _, v := range snap.Counters {
+		total += v
+	}
+	if total != 8*2000 {
+		t.Fatalf("lost counter increments: %d, want %d", total, 8*2000)
+	}
+	if snap.Histograms["race_snapshot_cost"].Count != 8*2000 {
+		t.Fatalf("lost observations: %d", snap.Histograms["race_snapshot_cost"].Count)
+	}
+}
+
+// TestAggregatorCommutativity proves the shard-merge algebra: N
+// goroutines each emit a private Run's worth of metrics into an
+// Aggregator concurrently, and the aggregate equals the same snapshots
+// merged serially in every rotation of the order — counters add,
+// gauges max, histograms add, independent of arrival order.
+func TestAggregatorCommutativity(t *testing.T) {
+	const shards = 6
+	snaps := make([]*RegistrySnapshot, shards)
+	for i := range snaps {
+		reg := NewRegistry()
+		reg.NewCounter("ops_total", "x").Add(uint64(100 + i))
+		reg.NewGauge("level", "x").Set(float64(i * 10))
+		h := reg.NewHistogram("cost", "x")
+		for j := 0; j <= i; j++ {
+			h.Observe(float64(j))
+		}
+		snaps[i] = reg.Snapshot()
+	}
+
+	merge := func(order []int) *RegistrySnapshot {
+		out := &RegistrySnapshot{}
+		for _, i := range order {
+			out.Merge(snaps[i])
+		}
+		return out
+	}
+	ref := merge([]int{0, 1, 2, 3, 4, 5})
+	for rot := 1; rot < shards; rot++ {
+		order := make([]int, shards)
+		for i := range order {
+			order[i] = (i + rot) % shards
+		}
+		got := merge(order)
+		if got.Counters["ops_total"] != ref.Counters["ops_total"] {
+			t.Fatalf("rotation %d: counters %d != %d", rot, got.Counters["ops_total"], ref.Counters["ops_total"])
+		}
+		if got.Gauges["level"] != ref.Gauges["level"] {
+			t.Fatalf("rotation %d: gauges %v != %v", rot, got.Gauges["level"], ref.Gauges["level"])
+		}
+		if got.Histograms["cost"].Count != ref.Histograms["cost"].Count ||
+			got.Histograms["cost"].Sum != ref.Histograms["cost"].Sum {
+			t.Fatalf("rotation %d: histograms diverge", rot)
+		}
+	}
+
+	// Concurrent Aggregator feeding: same result as any serial order.
+	agg := NewAggregator()
+	var wg sync.WaitGroup
+	for i := range snaps {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			agg.Add("collector", &RunSnapshot{Metrics: snaps[i]})
+		}()
+	}
+	wg.Wait()
+	got := agg.Snapshot()["collector"]
+	if got.Counters["ops_total"] != ref.Counters["ops_total"] ||
+		got.Gauges["level"] != ref.Gauges["level"] ||
+		got.Histograms["cost"].Count != ref.Histograms["cost"].Count {
+		t.Fatalf("concurrent aggregate diverges from serial merge:\n got %+v\n ref %+v", got, ref)
+	}
+}
