@@ -13,6 +13,16 @@
 // X.X | X.X.100 (e.g. 25.25, 33.33.100). -heap gives the heap as a
 // multiple of the benchmark's minimum (found by binary search); -heapMB
 // sets it absolutely.
+//
+// -server replaces the benchmark with the request/response server
+// workload (internal/server): per-request latencies on the cost-unit
+// clock, per-phase percentile tables, and an optional SLO verdict:
+//
+//	beltway -gc 25.25 -server -heap 3
+//	beltway -gc appel -server -heap 3 -slo p99=10e3,max=5e6
+//
+// In server mode -heap multiplies the store's estimated live size (no
+// min-heap search) and -seed seeds the request stream.
 package main
 
 import (
@@ -23,6 +33,7 @@ import (
 	"beltway/internal/collectors"
 	"beltway/internal/core"
 	"beltway/internal/harness"
+	"beltway/internal/server"
 	"beltway/internal/stats"
 	"beltway/internal/telemetry"
 	"beltway/internal/workload"
@@ -43,6 +54,11 @@ func main() {
 		muts    = flag.Int("mutators", 1,
 			"mutator goroutines; >1 shards the run over N private heaps (simulated N-core makespan)")
 
+		serverMode = flag.Bool("server", false,
+			"run the request/response server workload instead of -bench")
+		sloSpec = flag.String("slo", "",
+			"request-latency SLO for -server, e.g. p99=10e3,p99.9=1e6,max=5e6 (cost units; empty = report only)")
+
 		traceOut = flag.String("trace-out", "",
 			"write a Chrome trace_event JSON of the run's GC events")
 		metricsOut = flag.String("metrics-out", "",
@@ -52,9 +68,12 @@ func main() {
 	)
 	flag.Parse()
 
-	b := workload.Get(*bench)
-	if b == nil {
-		fatalf("unknown benchmark %q (have: %v)", *bench, workload.Names())
+	var b *workload.Benchmark
+	if !*serverMode {
+		b = workload.Get(*bench)
+		if b == nil {
+			fatalf("unknown benchmark %q (have: %v)", *bench, workload.Names())
+		}
 	}
 	env := harness.EnvForScale(*scale)
 	env.Seed = *seed
@@ -67,9 +86,39 @@ func main() {
 	env.Pretenure = *preten
 	env.Mutators = *muts
 
+	// Server mode: no min-heap search; -heap multiplies the store's
+	// estimated live size, and the request stream rides -seed when set.
+	var sc server.Config
+	var slo server.SLO
+	mutatorsSet := false // -mutators given explicitly, even as 1
+	if *serverMode {
+		sc = server.Scaled(*scale)
+		seedSet := false
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "seed":
+				seedSet = true
+			case "mutators":
+				mutatorsSet = true
+			}
+		})
+		if seedSet {
+			sc.Seed = *seed
+		}
+		var perr error
+		if slo, perr = server.ParseSLO(*sloSpec); perr != nil {
+			fatalf("-slo: %v", perr)
+		}
+	}
+
 	var heapBytes int
 	if *heapMB > 0 {
 		heapBytes = int(*heapMB * (1 << 20))
+	} else if *serverMode {
+		heapBytes = int(float64(sc.EstLiveBytes()) * *heapX)
+		heapBytes = (heapBytes/env.FrameBytes + 1) * env.FrameBytes
+		fmt.Printf("est. live set: %s MB; running at %s MB (%.2fx)\n",
+			harness.FmtMB(sc.EstLiveBytes()), harness.FmtMB(heapBytes), *heapX)
 	} else {
 		appel := func(h int) core.Config {
 			c, err := collectors.Parse("appel", collectors.Options{
@@ -95,11 +144,26 @@ func main() {
 		fatalf("%v", err)
 	}
 	env.Telemetry = true
-	res, err := harness.RunOne(config, b, env)
+	var res *harness.Result
+	if *serverMode {
+		// An explicit -mutators forces the sharded runtime even at 1, so
+		// `-mutators 1` demonstrates the flat/sharded replay identity from
+		// the command line rather than trivially taking the flat path.
+		if mutatorsSet {
+			res, err = harness.RunServerSharded(config, sc, slo, env)
+		} else {
+			res, err = harness.RunServer(config, sc, slo, env)
+		}
+	} else {
+		res, err = harness.RunOne(config, b, env)
+	}
 	if err != nil {
 		fatalf("%v", err)
 	}
 	printResult(res)
+	if res.Server != nil {
+		printServerReport(res.Server)
+	}
 	table := harness.ResultsTable([]*harness.Result{res})
 	fmt.Printf("\n%s", table.String())
 
@@ -187,6 +251,50 @@ func printResult(r *harness.Result) {
 		c.RootsScanned, float64(c.BootBytesScanned)/(1<<20))
 	fmt.Printf("  frames mapped       %10d (%d unmapped); paged alloc %.2f MB\n",
 		c.FramesMapped, c.FramesUnmapped, float64(c.PageFaultBytes)/(1<<20))
+}
+
+// printServerReport renders the per-phase latency distributions and SLO
+// verdicts of a server-mode run (latencies in nominal microseconds).
+func printServerReport(rep *server.Report) {
+	t := harness.Table{
+		Title: "Server phases (request latency, nominal us)",
+		Headers: []string{"phase", "requests", "reads", "writes",
+			"p50(us)", "p95(us)", "p99(us)", "p99.9(us)", "max(us)", "paused%", "worst-infl"},
+	}
+	rows := append(append([]server.PhaseReport{}, rep.Phases...), rep.Overall)
+	rows[len(rows)-1].Name = "overall"
+	for _, p := range rows {
+		t.AddRow(p.Name, fmt.Sprint(p.Requests), fmt.Sprint(p.Reads), fmt.Sprint(p.Writes),
+			harness.FmtUs(p.Latency.P50), harness.FmtUs(p.Latency.P95),
+			harness.FmtUs(p.Latency.P99), harness.FmtUs(p.Latency.P999),
+			harness.FmtUs(p.Latency.Max),
+			fmt.Sprintf("%.2f", 100*p.PausedFrac),
+			fmt.Sprintf("%.1f", p.WorstInflation))
+	}
+	fmt.Printf("\n%s", t.String())
+	if rep.Shards > 1 {
+		fmt.Printf("\nmerged over %d serving lanes; store fingerprint %016x\n",
+			rep.Shards, rep.StoreChecksum)
+	} else {
+		fmt.Printf("\nstore fingerprint %016x\n", rep.StoreChecksum)
+	}
+	if len(rep.Verdicts) > 0 {
+		fmt.Println("\nSLO verdicts:")
+		for _, v := range rep.Verdicts {
+			state := "PASS"
+			if !v.Pass {
+				state = "FAIL"
+			}
+			fmt.Printf("  %-5s %-5s actual %12.0f cost units (%s us), bound %12.0f (%s us)\n",
+				v.Target.Quantile, state, v.Actual, harness.FmtUs(v.Actual),
+				v.Target.Cost, harness.FmtUs(v.Target.Cost))
+		}
+		if rep.Passed {
+			fmt.Println("  SLO: PASS")
+		} else {
+			fmt.Println("  SLO: FAIL")
+		}
+	}
 }
 
 func max64(a, b uint64) uint64 {

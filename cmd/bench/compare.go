@@ -117,7 +117,7 @@ func metricsOf(or, nr Result) []metric {
 // improves downward.
 func higherIsBetter(name string) bool {
 	switch name {
-	case "agg-B-per-cost/op", "MB/s":
+	case "agg-B-per-cost/op", "MB/s", "req/s":
 		return true
 	}
 	return false

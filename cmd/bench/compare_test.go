@@ -1,0 +1,118 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, dir, name string, rep Report) string {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunCompare(t *testing.T) {
+	dir := t.TempDir()
+	oldRep := Report{Date: "2026-01-01", Benchtime: "1s", Benchmarks: []Result{
+		{Suite: "core", Name: "Alloc", NsPerOp: 100, BytesPerOp: 64, AllocsPerOp: 2},
+		{Suite: "server", Name: "Beltway", NsPerOp: 1000,
+			Extra: map[string]float64{"req/s": 5000, "p99-cost/op": 2000}},
+		{Suite: "shard", Name: "Scale8", NsPerOp: 500,
+			Extra: map[string]float64{"agg-B-per-cost/op": 10}},
+		{Suite: "trace", Name: "Removed", NsPerOp: 10},
+	}}
+	newRep := Report{Date: "2026-01-02", Benchtime: "1s", Benchmarks: []Result{
+		// ns/op regresses 50%.
+		{Suite: "core", Name: "Alloc", NsPerOp: 150, BytesPerOp: 64, AllocsPerOp: 2},
+		// req/s is sign-aware: dropping is a regression even though the
+		// value got smaller; p99 cost improving is not.
+		{Suite: "server", Name: "Beltway", NsPerOp: 1000,
+			Extra: map[string]float64{"req/s": 2500, "p99-cost/op": 1000}},
+		// agg-B-per-cost/op rising is an improvement.
+		{Suite: "shard", Name: "Scale8", NsPerOp: 500,
+			Extra: map[string]float64{"agg-B-per-cost/op": 20}},
+		{Suite: "heap", Name: "Added", NsPerOp: 10},
+	}}
+	oldPath := writeReport(t, dir, "old.json", oldRep)
+	newPath := writeReport(t, dir, "new.json", newRep)
+
+	var buf strings.Builder
+	regressions, err := runCompare(&buf, oldPath, newPath, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if regressions != 2 {
+		t.Fatalf("regressions = %d, want 2 (ns/op up, req/s down)\n%s", regressions, out)
+	}
+
+	wantLine := func(sub ...string) {
+		t.Helper()
+		for _, line := range strings.Split(out, "\n") {
+			ok := true
+			for _, s := range sub {
+				if !strings.Contains(line, s) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return
+			}
+		}
+		t.Fatalf("no output line contains all of %q\n%s", sub, out)
+	}
+	wantLine("core/Alloc", "ns/op", "REGRESSION")
+	wantLine("server/Beltway", "req/s", "REGRESSION")
+	wantLine("server/Beltway", "p99-cost/op", "improved")
+	wantLine("shard/Scale8", "agg-B-per-cost/op", "improved")
+	wantLine("heap/Added", "(new)")
+	wantLine("trace/Removed", "(gone)")
+}
+
+func TestRunCompareWithinThreshold(t *testing.T) {
+	dir := t.TempDir()
+	rep := Report{Benchmarks: []Result{
+		{Suite: "core", Name: "Alloc", NsPerOp: 100},
+	}}
+	rep2 := Report{Benchmarks: []Result{
+		{Suite: "core", Name: "Alloc", NsPerOp: 103},
+	}}
+	oldPath := writeReport(t, dir, "old.json", rep)
+	newPath := writeReport(t, dir, "new.json", rep2)
+	var buf strings.Builder
+	regressions, err := runCompare(&buf, oldPath, newPath, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 0 {
+		t.Fatalf("3%% delta under a 5%% threshold counted as regression\n%s", buf.String())
+	}
+	if strings.Contains(buf.String(), "REGRESSION") {
+		t.Fatalf("unexpected REGRESSION mark:\n%s", buf.String())
+	}
+}
+
+func TestRunCompareNoCommonBenchmarks(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", Report{Benchmarks: []Result{
+		{Suite: "core", Name: "A", NsPerOp: 1},
+	}})
+	newPath := writeReport(t, dir, "new.json", Report{Benchmarks: []Result{
+		{Suite: "core", Name: "B", NsPerOp: 1},
+	}})
+	var buf strings.Builder
+	if _, err := runCompare(&buf, oldPath, newPath, 5); err == nil {
+		t.Fatal("disjoint reports compared without error")
+	}
+}

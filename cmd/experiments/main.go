@@ -76,6 +76,8 @@ func main() {
 			"mutator goroutines per run; >1 shards every run over N private heaps (default 1 = classic single-mutator tables)")
 		faultSeed = flag.Int64("fault-seed", 0,
 			"run every configuration under a deterministic fault-injection schedule derived from this seed (chaos testing; 0 = off)")
+		slo = flag.String("slo", "",
+			"request-latency SLO for -exp server, e.g. p99=10e3,p99.9=1e6,max=20e6 (cost units; default: the built-in bar)")
 
 		traceOut = flag.String("trace-out", "",
 			"write a Chrome trace_event JSON of every run's GC events (open in chrome://tracing or Perfetto)")
@@ -139,6 +141,7 @@ func main() {
 		Checkpoint: *checkpoint,
 		Resume:     *resume,
 		Timeout:    *timeout,
+		ServerSLO:  *slo,
 	}
 	if obs != nil {
 		opts.OnRecord = obs.onRecord

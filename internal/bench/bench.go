@@ -15,7 +15,7 @@ type Entry struct {
 
 // Suites lists the suite names in run order.
 func Suites() []string {
-	return []string{"heap", "core", "markregion", "remset", "trace", "telemetry", "workload", "shard"}
+	return []string{"heap", "core", "markregion", "remset", "trace", "telemetry", "workload", "server", "shard"}
 }
 
 // All returns every registered benchmark in deterministic (suite, then
@@ -59,5 +59,9 @@ func static() []Entry {
 		{"workload", "Javac", WorkloadJavac},
 		{"workload", "Jack", WorkloadJack},
 		{"workload", "PseudoJBB", WorkloadPseudoJBB},
+		{"server", "Beltway", ServerBeltway},
+		{"server", "Appel", ServerAppel},
+		{"server", "Immix", ServerImmix},
+		{"server", "Sharded4", ServerSharded4},
 	}
 }

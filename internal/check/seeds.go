@@ -24,6 +24,9 @@ func SeedScripts() []NamedScript {
 		{"javac", seedJavac()},
 		{"jack", seedJack()},
 		{"pseudojbb", seedPseudoJBB()},
+		{"server-steady", seedServerSteady()},
+		{"server-flip", seedServerFlip()},
+		{"server-growth", seedServerGrowth()},
 	}
 }
 
@@ -135,6 +138,103 @@ func seedJack() Script {
 		s = append(s, Op{Kind: OpPop})
 	}
 	s = append(s, Op{Kind: OpCollect})
+	return s
+}
+
+// seedServerSteady: the internal/server request shape — a global
+// directory of bucket ref-arrays holding word-array values, then a
+// read-heavy request loop: two-level lookup, transient response scratch
+// dying with the request scope, periodic nursery collections.
+func seedServerSteady() Script {
+	var s Script
+	s = append(s, Op{Kind: OpAllocGlobal}) // directory
+	for b := 0; b < 4; b++ {
+		s = append(s, Op{Kind: OpAllocArr, A: 7}) // bucket
+		s = append(s, Op{Kind: OpSetRef, A: 0, B: byte(b), C: 255})
+		for k := 0; k < 4; k++ {
+			s = append(s, Op{Kind: OpAllocWords, A: 5}) // value
+			s = append(s, Op{Kind: OpSetData, A: 255, B: 0, C: byte(4*b + k)})
+			s = append(s, Op{Kind: OpSetRef, A: byte(b + 1), B: byte(k), C: 255})
+		}
+	}
+	for req := 0; req < 16; req++ {
+		s = append(s, Op{Kind: OpPush})
+		s = append(s, Op{Kind: OpGetRef, A: 0, B: byte(req % 4)})   // dir -> bucket
+		s = append(s, Op{Kind: OpGetRef, A: 255, B: byte(req % 4)}) // bucket -> value
+		s = append(s, Op{Kind: OpAllocWords, A: 9})                 // response scratch
+		s = append(s, Op{Kind: OpSetData, A: 255, B: 0, C: byte(req)})
+		s = append(s, Op{Kind: OpWork, A: 6})
+		s = append(s, Op{Kind: OpPop})
+		if req%8 == 7 {
+			s = append(s, Op{Kind: OpCollect})
+		}
+	}
+	return s
+}
+
+// seedServerFlip: the write-heavy phase after a ratio flip — requests
+// replace values in place (the old value becomes floating garbage the
+// nursery must find), with the hot bucket shifting mid-script like a
+// popularity reshuffle.
+func seedServerFlip() Script {
+	var s Script
+	s = append(s, Op{Kind: OpAllocGlobal})
+	for b := 0; b < 3; b++ {
+		s = append(s, Op{Kind: OpAllocArr, A: 7})
+		s = append(s, Op{Kind: OpSetRef, A: 0, B: byte(b), C: 255})
+	}
+	for req := 0; req < 18; req++ {
+		hot := 0
+		if req >= 9 { // reshuffle: the hot bucket moves
+			hot = 2
+		}
+		s = append(s, Op{Kind: OpPush})
+		s = append(s, Op{Kind: OpGetRef, A: 0, B: byte(hot)})
+		s = append(s, Op{Kind: OpAllocWords, A: 6}) // replacement value
+		s = append(s, Op{Kind: OpSetData, A: 255, B: 1, C: byte(req * 3)})
+		s = append(s, Op{Kind: OpSetRef, A: 254, B: byte(req % 8), C: 255})
+		s = append(s, Op{Kind: OpWork, A: 4})
+		s = append(s, Op{Kind: OpPop})
+		if req%6 == 5 {
+			s = append(s, Op{Kind: OpCollect})
+		}
+	}
+	s = append(s, Op{Kind: OpCollectFull})
+	return s
+}
+
+// seedServerGrowth: working-set growth — the store gains fresh buckets
+// and values mid-script (populated outside any request scope), then the
+// read loop spans old and new keys.
+func seedServerGrowth() Script {
+	var s Script
+	s = append(s, Op{Kind: OpAllocGlobal})
+	s = append(s, Op{Kind: OpAllocArr, A: 7})
+	s = append(s, Op{Kind: OpSetRef, A: 0, B: 0, C: 255})
+	for req := 0; req < 8; req++ {
+		s = append(s, Op{Kind: OpPush})
+		s = append(s, Op{Kind: OpGetRef, A: 0, B: 0})
+		s = append(s, Op{Kind: OpAllocWords, A: 9})
+		s = append(s, Op{Kind: OpPop})
+	}
+	for b := 1; b < 4; b++ { // growth: new buckets join the directory
+		s = append(s, Op{Kind: OpAllocArr, A: 7})
+		s = append(s, Op{Kind: OpSetRef, A: 0, B: byte(b), C: 255})
+		for k := 0; k < 3; k++ {
+			s = append(s, Op{Kind: OpAllocWords, A: 5})
+			s = append(s, Op{Kind: OpSetRef, A: 254, B: byte(k), C: 255})
+		}
+	}
+	s = append(s, Op{Kind: OpCollect})
+	for req := 0; req < 12; req++ {
+		s = append(s, Op{Kind: OpPush})
+		s = append(s, Op{Kind: OpGetRef, A: 0, B: byte(req % 4)})
+		s = append(s, Op{Kind: OpAllocWords, A: 9})
+		s = append(s, Op{Kind: OpSetData, A: 255, B: 0, C: byte(req)})
+		s = append(s, Op{Kind: OpWork, A: 6})
+		s = append(s, Op{Kind: OpPop})
+	}
+	s = append(s, Op{Kind: OpCollectFull})
 	return s
 }
 

@@ -51,6 +51,9 @@ type Opts struct {
 	// resumed) as it settles; called concurrently from workers. Used by
 	// cmd/experiments to aggregate telemetry live.
 	OnRecord func(engine.Record)
+	// ServerSLO is the pass/fail bar of the server experiment ("-exp
+	// server"), in ParseSLO syntax; "" means DefaultServerSLO.
+	ServerSLO string
 }
 
 // Suite runs experiments with shared minimum-heap and result caches.

@@ -41,6 +41,7 @@ func Registry() []Experiment {
 func Extensions() []Experiment {
 	return []Experiment{
 		{"substrate", "Mark-region substrate: 25.25-mr vs Immix vs copying 25.25 vs Appel", (*Suite).FigureSubstrate},
+		{"server", "Server workload: request latency SLOs vs heap size across presets", (*Suite).FigureServer},
 	}
 }
 

@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"beltway/internal/collectors"
+	"beltway/internal/core"
+	"beltway/internal/engine"
+	"beltway/internal/harness"
+	"beltway/internal/server"
+	"beltway/internal/stats"
+)
+
+// DefaultServerSLO is the pass/fail bar for the server experiment when
+// the caller sets none: the p99 request must stay under 10k cost units
+// (~13.6us nominal — a pause-free request), the p99.9 under 1M (~1.4ms:
+// a request may absorb a nursery pause but not a mature collection), and
+// no request may exceed 5M (~6.8ms). Calibrated at scale 1 so the bar
+// discriminates: incremental collectors (Beltway) pass, collectors that
+// park a long mature/full collection under a request (Fixed nursery at
+// tight heaps, Immix at 2x live) fail on max or p99.9.
+const DefaultServerSLO = "p99=10e3,p99.9=1e6,max=5e6"
+
+// serverHeapFactors are the heap sizes of the server sweep, as multiples
+// of the store's estimated live size. The floor is 2x: copying
+// collectors reserve to-space on top of the live set, so below ~2x even
+// the baseline OOMs.
+var serverHeapFactors = []float64{2, 3, 4, 6}
+
+// serverScorecardFactor is the heap factor of the SLO-vs-preset
+// scorecard table.
+const serverScorecardFactor = 3.0
+
+// serverCollectors is the preset panel of the server experiment: the
+// paper's baseline (Appel), the best fixed nursery, the incomplete and
+// complete Beltway configurations, and both mark-region variants.
+func (s *Suite) serverCollectors() []harness.Collector {
+	mr := harness.Collector{Name: "Beltway 25.25-mr", Make: func(h int) core.Config {
+		return collectors.WithMarkRegion(collectors.XX(25, s.options(h)))
+	}}
+	immix := harness.Collector{Name: "Immix", Make: func(h int) core.Config {
+		return collectors.Immix(s.options(h))
+	}}
+	return []harness.Collector{
+		s.appel(), s.fixed(25), s.xx(25), s.xx100(25), mr, immix,
+	}
+}
+
+// FigureServer sweeps the request/response server workload
+// (internal/server) across the preset panel and heap sizes, reporting
+// per-request latency percentiles on the cost-unit clock and each
+// configuration's SLO verdict. Collectors that win the throughput sweeps
+// can lose here: a full-heap collection parked under a request inflates
+// its latency by orders of magnitude, and the p99.9 column shows exactly
+// which presets let that happen at which heap sizes.
+//
+// This experiment is an extension (the 2002 paper measures throughput
+// and MMU, not request SLOs); it is reachable by id ("-exp server") but
+// stays out of "-exp all".
+func (s *Suite) FigureServer() ([]harness.Table, error) {
+	sc := server.Scaled(s.opts.Env.Scale)
+	sloStr := s.opts.ServerSLO
+	if sloStr == "" {
+		sloStr = DefaultServerSLO
+	}
+	slo, err := server.ParseSLO(sloStr)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: server SLO: %w", err)
+	}
+	cols := s.serverCollectors()
+	est := sc.EstLiveBytes()
+	frame := s.opts.Env.FrameBytes
+
+	type slot struct{ ci, fi int }
+	var jobs []engine.Job
+	var slots []slot
+	for ci, col := range cols {
+		for fi, f := range serverHeapFactors {
+			hb := int(float64(est) * f)
+			hb = (hb/frame + 1) * frame
+			col, hb := col, hb
+			jobs = append(jobs, engine.Job{
+				Key: engine.Key{Experiment: "server", Collector: col.Name,
+					Benchmark: "server", HeapBytes: hb},
+				Run: func() (any, engine.Outcome, error) {
+					res, rerr := harness.RunServer(col.Make(hb), sc, slo, s.opts.Env)
+					if rerr != nil {
+						return nil, "", rerr
+					}
+					out := engine.OK
+					switch {
+					case res.OOM:
+						out = engine.OOM
+					case res.Aborted:
+						out = engine.Budget
+					}
+					return harness.RunPayload{
+						Result:     res,
+						PauseStats: stats.SummarizePauses(res.Pauses),
+					}, out, nil
+				},
+			})
+			slots = append(slots, slot{ci, fi})
+		}
+	}
+	recs, err := s.exec.Engine().Run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	results := make([][]*harness.Result, len(cols))
+	for ci := range cols {
+		results[ci] = make([]*harness.Result, len(serverHeapFactors))
+	}
+	for k, rec := range recs {
+		sl := slots[k]
+		r := &harness.Result{
+			Collector: cols[sl.ci].Name,
+			Benchmark: "server",
+			HeapBytes: jobs[k].Key.HeapBytes,
+			Failure:   string(rec.Outcome),
+		}
+		if rec.Outcome.Completed() && len(rec.Payload) > 0 {
+			var p harness.RunPayload
+			if uerr := json.Unmarshal(rec.Payload, &p); uerr == nil && p.Result != nil {
+				r = p.Result
+			} else {
+				r.Failure = fmt.Sprintf("checkpoint decode: %v", uerr)
+			}
+		} else if rec.Error != "" {
+			r.Failure += ": " + rec.Error
+		}
+		results[sl.ci][sl.fi] = r
+	}
+
+	sweep := harness.Table{
+		Title: fmt.Sprintf("Server: request latency vs heap size (SLO %s)", slo),
+		Headers: []string{"Collector", "Heap (x live)", "Heap (MB)", "GC%",
+			"p50(us)", "p99(us)", "p99.9(us)", "max(us)", "paused%", "worst-infl", "SLO"},
+	}
+	for ci, col := range cols {
+		for fi, f := range serverHeapFactors {
+			r := results[ci][fi]
+			if r.Incomplete() || r.Server == nil {
+				sweep.AddRow(col.Name, fmt.Sprintf("%.1f", f), harness.FmtMB(r.HeapBytes),
+					incompleteCell(r), "-", "-", "-", "-", "-", "-", "-")
+				continue
+			}
+			d := r.Server.Overall
+			sweep.AddRow(col.Name, fmt.Sprintf("%.1f", f), harness.FmtMB(r.HeapBytes),
+				fmt.Sprintf("%.1f", 100*r.GCFraction()),
+				harness.FmtUs(d.Latency.P50), harness.FmtUs(d.Latency.P99),
+				harness.FmtUs(d.Latency.P999), harness.FmtUs(d.Latency.Max),
+				fmt.Sprintf("%.2f", 100*d.PausedFrac),
+				fmt.Sprintf("%.1f", d.WorstInflation),
+				sloCell(r.Server))
+		}
+	}
+
+	card := harness.Table{
+		Title: fmt.Sprintf("Server: SLO scorecard at %.1fx live heap (SLO %s)",
+			serverScorecardFactor, slo),
+		Headers: []string{"Collector", "p99(us)", "p99.9(us)", "max(us)",
+			"paused%", "GCs", "SLO"},
+	}
+	fi := indexOfFactor(serverHeapFactors, serverScorecardFactor)
+	for ci, col := range cols {
+		r := results[ci][fi]
+		if r.Incomplete() || r.Server == nil {
+			card.AddRow(col.Name, "-", "-", "-", "-", incompleteCell(r), "-")
+			continue
+		}
+		d := r.Server.Overall
+		card.AddRow(col.Name,
+			harness.FmtUs(d.Latency.P99), harness.FmtUs(d.Latency.P999),
+			harness.FmtUs(d.Latency.Max),
+			fmt.Sprintf("%.2f", 100*d.PausedFrac),
+			fmt.Sprint(r.Collections),
+			sloCell(r.Server))
+	}
+	return []harness.Table{sweep, card}, nil
+}
+
+// sloCell renders a report's SLO outcome, naming the failed targets.
+func sloCell(rep *server.Report) string {
+	if len(rep.Verdicts) == 0 {
+		return "-"
+	}
+	if rep.Passed {
+		return "PASS"
+	}
+	cell := "FAIL"
+	for _, v := range rep.Verdicts {
+		if !v.Pass {
+			cell += " " + v.Target.Quantile
+		}
+	}
+	return cell
+}
+
+func indexOfFactor(fs []float64, f float64) int {
+	for i, v := range fs {
+		if v == f {
+			return i
+		}
+	}
+	return 0
+}

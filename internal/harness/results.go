@@ -12,23 +12,47 @@ func FmtMs(v float64) string {
 	return fmt.Sprintf("%.2f", v/stats.CyclesPerSecond*1e3)
 }
 
+// FmtUs formats cost units as nominal microseconds — the natural scale
+// of single-request latencies, which round to 0.00 in milliseconds.
+func FmtUs(v float64) string {
+	return fmt.Sprintf("%.1f", v/stats.CyclesPerSecond*1e6)
+}
+
 // ResultsTable renders per-run measurements with pause-percentile
 // columns (p50/p95/p99/max, in nominal milliseconds). Percentiles come
 // from the telemetry pause histogram when the run carried one, falling
 // back to the exact pause list otherwise — so the table works with or
-// without Env.Telemetry.
+// without Env.Telemetry. When any result carries a server report, two
+// SLO columns are appended (request p99.9 latency, fraction of requests
+// overlapping a pause); tables without server results render exactly as
+// before.
 func ResultsTable(results []*Result) Table {
-	t := Table{Headers: []string{
+	withSLO := false
+	for _, r := range results {
+		if r != nil && r.Server != nil {
+			withSLO = true
+			break
+		}
+	}
+	headers := []string{
 		"collector", "benchmark", "heap(MB)", "total(s)", "gc(s)", "gc%", "gcs",
 		"p50(ms)", "p95(ms)", "p99(ms)", "max(ms)",
-	}}
+	}
+	if withSLO {
+		headers = append(headers, "req-p99.9(us)", "paused%")
+	}
+	t := Table{Headers: headers}
 	for _, r := range results {
 		if r == nil {
 			continue
 		}
 		if r.Failure != "" {
-			t.AddRow(r.Collector, r.Benchmark, FmtMB(r.HeapBytes),
-				"-", "-", "-", "-", "-", "-", "-", "-")
+			row := []string{r.Collector, r.Benchmark, FmtMB(r.HeapBytes),
+				"-", "-", "-", "-", "-", "-", "-", "-"}
+			if withSLO {
+				row = append(row, "-", "-")
+			}
+			t.AddRow(row...)
 			continue
 		}
 		p50, p95, p99, max := pauseQuantiles(r)
@@ -38,6 +62,15 @@ func ResultsTable(results []*Result) Table {
 			fmt.Sprintf("%.1f", 100*r.GCFraction()),
 			fmt.Sprintf("%d", r.Collections),
 			FmtMs(p50), FmtMs(p95), FmtMs(p99), FmtMs(max),
+		}
+		if withSLO {
+			if r.Server != nil {
+				row = append(row,
+					FmtUs(r.Server.Overall.Latency.P999),
+					fmt.Sprintf("%.2f", 100*r.Server.Overall.PausedFrac))
+			} else {
+				row = append(row, "-", "-")
+			}
 		}
 		if r.OOM {
 			row[0] += " (OOM)"

@@ -16,6 +16,7 @@ import (
 	"beltway/internal/heap"
 	"beltway/internal/mmu"
 	"beltway/internal/resilience"
+	"beltway/internal/server"
 	"beltway/internal/stats"
 	"beltway/internal/telemetry"
 	"beltway/internal/workload"
@@ -115,6 +116,9 @@ type Result struct {
 	// Telemetry is the run's flight-recorder events and metric snapshot,
 	// present only when Env.Telemetry was set.
 	Telemetry *telemetry.RunSnapshot `json:",omitempty"`
+	// Server is the request/latency report of a server-workload run
+	// (RunServer); nil for the classic benchmark runs.
+	Server *server.Report `json:",omitempty"`
 }
 
 // Incomplete reports whether the run produced no valid end-to-end

@@ -1,0 +1,146 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SLO is a set of latency objectives, each bounding one quantile of the
+// per-request latency distribution in cost units. The zero value demands
+// nothing and always passes.
+type SLO struct {
+	Targets []Target `json:"targets,omitempty"`
+}
+
+// Target is one objective: the named quantile must not exceed Cost.
+type Target struct {
+	Quantile string  `json:"quantile"` // p50 | p95 | p99 | p999 | max
+	Cost     float64 `json:"cost"`     // bound, in cost units
+}
+
+// quantileValue maps a target name to its value in a latency
+// distribution. Returns ok=false for unknown names.
+func quantileValue(name string, d *Dist) (float64, bool) {
+	switch name {
+	case "p50":
+		return d.P50, true
+	case "p95":
+		return d.P95, true
+	case "p99":
+		return d.P99, true
+	case "p999":
+		return d.P999, true
+	case "max":
+		return d.Max, true
+	}
+	return 0, false
+}
+
+// ParseSLO parses a declaration like "p99=500000" or
+// "p95=200000,p999=2000000". Quantile names are p50, p95, p99, p999
+// (p99.9 is accepted as an alias) and max; bounds are cost units.
+func ParseSLO(s string) (SLO, error) {
+	var slo SLO
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return slo, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return SLO{}, fmt.Errorf("server: bad SLO term %q (want quantile=cost)", part)
+		}
+		name = strings.TrimSpace(name)
+		if name == "p99.9" {
+			name = "p999"
+		}
+		switch name {
+		case "p50", "p95", "p99", "p999", "max":
+		default:
+			return SLO{}, fmt.Errorf("server: unknown SLO quantile %q (want p50, p95, p99, p999 or max)", name)
+		}
+		c, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil || c <= 0 {
+			return SLO{}, fmt.Errorf("server: bad SLO bound %q (want a positive cost-unit count)", val)
+		}
+		slo.Targets = append(slo.Targets, Target{Quantile: name, Cost: c})
+	}
+	return slo, nil
+}
+
+// String renders the SLO back in the -slo flag syntax.
+func (s SLO) String() string {
+	parts := make([]string, len(s.Targets))
+	for i, t := range s.Targets {
+		parts[i] = fmt.Sprintf("%s=%g", t.Quantile, t.Cost)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Verdict is the evaluation of one SLO target against a run.
+type Verdict struct {
+	Target Target  `json:"target"`
+	Actual float64 `json:"actual"` // measured quantile, cost units
+	Pass   bool    `json:"pass"`
+}
+
+// Evaluate checks every target against a latency distribution. The
+// returned slice parallels s.Targets.
+func (s SLO) Evaluate(d *Dist) []Verdict {
+	out := make([]Verdict, len(s.Targets))
+	for i, t := range s.Targets {
+		v, _ := quantileValue(t.Quantile, d)
+		out[i] = Verdict{Target: t, Actual: v, Pass: v <= t.Cost}
+	}
+	return out
+}
+
+// Dist summarizes a latency sample set with the exact (sorted,
+// nearest-rank) quantiles the SLO layer verdicts against. Exactness
+// matters here: telemetry's log-bucketed histograms bound quantile error
+// to the bucket ratio (see internal/telemetry), which is fine for
+// dashboards but not for pass/fail decisions.
+type Dist struct {
+	Count int     `json:"count"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+}
+
+// Summarize computes the exact distribution of a latency sample set.
+// The input is not modified.
+func Summarize(latencies []float64) *Dist {
+	d := &Dist{Count: len(latencies)}
+	if len(latencies) == 0 {
+		return d
+	}
+	sorted := append([]float64(nil), latencies...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	rank := func(q float64) float64 {
+		// Nearest-rank on the sorted sample, matching stats.SummarizePauses.
+		i := int(q*float64(len(sorted))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i]
+	}
+	d.P50 = rank(0.50)
+	d.P95 = rank(0.95)
+	d.P99 = rank(0.99)
+	d.P999 = rank(0.999)
+	d.Max = sorted[len(sorted)-1]
+	d.Mean = sum / float64(len(sorted))
+	return d
+}

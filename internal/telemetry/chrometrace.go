@@ -120,6 +120,26 @@ func runTraceEvents(run TraceRun) []traceEvent {
 				Ts: usec(e.Time), Pid: run.Pid, Tid: 1,
 				Args: map[string]any{"requested": e.A, "heap_bytes": e.B},
 			})
+		case EvRequest:
+			// Request slices go on their own track (tid 2) so GC pauses
+			// (tid 1) visually overlay the requests they inflate.
+			name := "read"
+			if uint8(e.A) == 1 {
+				name = "write"
+			}
+			args := map[string]any{
+				"key":            e.B,
+				"phase":          e.C,
+				"dur_cost_units": e.Dur,
+			}
+			if e.A>>8 != 0 {
+				args["gc_pause_cost"] = e.D
+			}
+			out = append(out, traceEvent{
+				Name: name, Cat: "request", Ph: "X",
+				Ts: usec(e.Time - e.Dur), Dur: usec(e.Dur),
+				Pid: run.Pid, Tid: 2, Args: args,
+			})
 		}
 	}
 	return out

@@ -67,6 +67,15 @@ const (
 	//   B = requested bytes (0 for steps not tied to an allocation)
 	//   C = configured heap bytes
 	EvDegrade
+
+	// EvRequest: one served server request (internal/server). Time is
+	// the request's end, Dur its latency, both in cost units.
+	//   A = request kind (0 read, 1 write) | paused<<8 (1 when the
+	//       request overlapped a GC pause)
+	//   B = key
+	//   C = phase index
+	//   D = pause cost inside the request, in whole cost units
+	EvRequest
 )
 
 func (k EventKind) String() string {
@@ -85,6 +94,8 @@ func (k EventKind) String() string {
 		return "oom"
 	case EvDegrade:
 		return "degrade"
+	case EvRequest:
+		return "request"
 	default:
 		return "none"
 	}
@@ -141,6 +152,17 @@ func (e Event) String() string {
 	case EvDegrade:
 		return fmt.Sprintf("#%d t=%.0f degrade step=%s requested=%d heap=%d",
 			e.Seq, e.Time, degradeName(uint8(e.A)), e.B, e.C)
+	case EvRequest:
+		kind := "read"
+		if uint8(e.A) == 1 {
+			kind = "write"
+		}
+		paused := ""
+		if e.A>>8 != 0 {
+			paused = " paused"
+		}
+		return fmt.Sprintf("#%d t=%.0f request %s key=%d phase=%d dur=%.0f%s",
+			e.Seq, e.Time, kind, e.B, e.C, e.Dur, paused)
 	default:
 		return fmt.Sprintf("#%d t=%.0f %s", e.Seq, e.Time, e.Kind)
 	}

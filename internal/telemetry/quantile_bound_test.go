@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// latencySample builds a deterministic request-latency-shaped
+// distribution: a dense body of cheap requests, a mid tail of
+// cache-missing ones, and a sparse far tail of pause-inflated requests —
+// the shape the server SLO evaluator feeds this histogram.
+func latencySample(n int) []float64 {
+	out := make([]float64, 0, n)
+	state := uint64(0x9E3779B97F4A7C15)
+	next := func() uint64 {
+		state += 0x9E3779B97F4A7C15
+		z := state
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		return z ^ (z >> 31)
+	}
+	for i := 0; i < n; i++ {
+		u := float64(next()>>11) / (1 << 53)
+		switch {
+		case u < 0.90: // body: ~400-800 cost units
+			out = append(out, 400+u*500)
+		case u < 0.999: // mid tail: up to ~50k
+			out = append(out, 1000+u*50000)
+		default: // pause-inflated: 1M-5M
+			out = append(out, 1e6+u*4e6)
+		}
+	}
+	return out
+}
+
+// TestQuantileInterpolationBound pins the histogram's quantile error to
+// its documented bound: estimates interpolate inside log-2 buckets, so
+// an estimate can differ from the exact sample quantile by at most the
+// bucket width — a factor of 2 either way. The server experiment's SLO
+// verdicts use exact sorted quantiles (internal/server.Summarize); this
+// bound is what makes the telemetry histogram's p99s trustworthy as a
+// cross-check, and this test fails if the bucketing scheme ever gets
+// coarser.
+func TestQuantileInterpolationBound(t *testing.T) {
+	samples := latencySample(20000)
+	h := &Histogram{}
+	for _, v := range samples {
+		h.Observe(v)
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	exactQ := func(q float64) float64 {
+		i := int(q*float64(len(sorted))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i]
+	}
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999} {
+		est := h.Quantile(q)
+		exact := exactQ(q)
+		if est < exact/2 || est > exact*2 {
+			t.Fatalf("q=%v: estimate %v outside [exact/2, 2*exact] of exact %v", q, est, exact)
+		}
+	}
+	// The max path is exact, not interpolated.
+	if got, want := h.Quantile(1), sorted[len(sorted)-1]; got != want {
+		t.Fatalf("q=1: %v, want exact max %v", got, want)
+	}
+	// Estimates are monotone in q and never exceed the exact max.
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		est := h.Quantile(q)
+		if est < prev {
+			t.Fatalf("quantile not monotone at q=%v: %v < %v", q, est, prev)
+		}
+		if est > h.Max() {
+			t.Fatalf("q=%v estimate %v exceeds max %v", q, est, h.Max())
+		}
+		prev = est
+	}
+}
+
+// TestQuantileBoundSurvivesMerge: the bound must hold for merged
+// snapshots too (the sharded server path merges per-shard histograms
+// before quoting quantiles).
+func TestQuantileBoundSurvivesMerge(t *testing.T) {
+	samples := latencySample(10000)
+	half := len(samples) / 2
+	a, b := &Histogram{}, &Histogram{}
+	for _, v := range samples[:half] {
+		a.Observe(v)
+	}
+	for _, v := range samples[half:] {
+		b.Observe(v)
+	}
+	merged := a.Snapshot()
+	merged.Merge(b.Snapshot())
+
+	whole := &Histogram{}
+	for _, v := range samples {
+		whole.Observe(v)
+	}
+	want := whole.Snapshot()
+	if merged.Count != want.Count || merged.Max != want.Max {
+		t.Fatalf("merge lost observations: %+v vs %+v", merged, want)
+	}
+	for _, q := range []float64{0.5, 0.99, 0.999, 1} {
+		if m, w := merged.Quantile(q), want.Quantile(q); m != w {
+			t.Fatalf("q=%v: merged %v != whole %v", q, m, w)
+		}
+	}
+}

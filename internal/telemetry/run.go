@@ -68,6 +68,10 @@ type Run struct {
 	mrEvacuated     *Counter
 	mrLines         *Gauge
 	mrLinesUsed     *Gauge
+
+	// server is the lazily-registered request observer (ServerObserver);
+	// nil until the run serves request traffic.
+	server *ServerObserver
 	// Per-belt line occupancy from the last Occupancy emission, so the
 	// gauges can report whole-heap sums while the hook stream is per
 	// belt. Grown on first sight of a belt; steady-state emission stays
