@@ -33,6 +33,7 @@ import (
 	"beltway/internal/collectors"
 	"beltway/internal/core"
 	"beltway/internal/harness"
+	"beltway/internal/policy"
 	"beltway/internal/server"
 	"beltway/internal/stats"
 	"beltway/internal/telemetry"
@@ -58,6 +59,8 @@ func main() {
 			"run the request/response server workload instead of -bench")
 		sloSpec = flag.String("slo", "",
 			"request-latency SLO for -server, e.g. p99=10e3,p99.9=1e6,max=5e6 (cost units; empty = report only)")
+		adapt = flag.String("adapt", "",
+			"adaptive policy objective: slo | mmu | footprint | throughput, with optional params (e.g. mmu:floor=0.7); empty = static (paper behavior)")
 
 		traceOut = flag.String("trace-out", "",
 			"write a Chrome trace_event JSON of the run's GC events")
@@ -85,6 +88,12 @@ func main() {
 	}
 	env.Pretenure = *preten
 	env.Mutators = *muts
+	if *adapt != "" {
+		if _, perr := policy.Parse(*adapt); perr != nil {
+			fatalf("-adapt: %v", perr)
+		}
+		env.Policy = *adapt
+	}
 
 	// Server mode: no min-heap search; -heap multiplies the store's
 	// estimated live size, and the request stream rides -seed when set.
@@ -161,6 +170,14 @@ func main() {
 		fatalf("%v", err)
 	}
 	printResult(res)
+	if res.Policy != nil {
+		drift := res.Policy.Drift
+		if drift == "" {
+			drift = "(none)"
+		}
+		fmt.Printf("  adaptive policy     %10d decisions (objective %s); knob drift: %s\n",
+			res.Policy.Decisions, res.Policy.Objective, drift)
+	}
 	if res.Server != nil {
 		printServerReport(res.Server)
 	}

@@ -56,6 +56,8 @@ func main() {
 	out := flag.String("o", "", "output path (default BENCH_<date>.json in the current directory)")
 	mutators := flag.Int("mutators", 0,
 		"cap the shard suite's scaling curve at this mutator width (0 = full default curve)")
+	adapt := flag.String("adapt", "",
+		"run the single-mutator server benchmarks with the adaptive policy controller on this objective (slo | mmu | footprint | throughput)")
 	compare := flag.Bool("compare", false,
 		"compare two reports instead of running: bench -compare OLD.json NEW.json")
 	threshold := flag.Float64("threshold", 5,
@@ -85,6 +87,7 @@ func main() {
 		}
 		bench.ShardCounts = counts
 	}
+	bench.ServerPolicy = *adapt
 
 	// testing.Benchmark reads the test.* flags; register them and force
 	// allocation reporting so B/op and allocs/op are always recorded.

@@ -42,6 +42,7 @@ import (
 	"beltway/internal/engine"
 	"beltway/internal/experiments"
 	"beltway/internal/harness"
+	"beltway/internal/policy"
 	"beltway/internal/stats"
 	"beltway/internal/telemetry"
 	"beltway/internal/workload"
@@ -78,6 +79,8 @@ func main() {
 			"run every configuration under a deterministic fault-injection schedule derived from this seed (chaos testing; 0 = off)")
 		slo = flag.String("slo", "",
 			"request-latency SLO for -exp server, e.g. p99=10e3,p99.9=1e6,max=20e6 (cost units; default: the built-in bar)")
+		adapt = flag.String("adapt", "",
+			"run every measurement with the adaptive policy controller on this objective (slo | mmu | footprint | throughput; empty = static)")
 
 		traceOut = flag.String("trace-out", "",
 			"write a Chrome trace_event JSON of every run's GC events (open in chrome://tracing or Perfetto)")
@@ -117,6 +120,12 @@ func main() {
 	env.Degrade = *degrade
 	env.FaultSeed = *faultSeed
 	env.Mutators = *mutators
+	if *adapt != "" {
+		if _, perr := policy.Parse(*adapt); perr != nil {
+			fatalf("-adapt: %v", perr)
+		}
+		env.Policy = *adapt
+	}
 
 	// Telemetry: observability output goes to files (and the optional HTTP
 	// endpoint), never stdout, so the printed tables stay byte-identical

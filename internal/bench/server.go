@@ -8,6 +8,13 @@ import (
 	"beltway/internal/server"
 )
 
+// ServerPolicy, when non-empty, runs the single-mutator server
+// benchmarks with the adaptive policy controller on this objective
+// (harness.Env.Policy syntax). cmd/bench sets it from -adapt so the
+// controller's steady-state overhead is diffable against static runs;
+// the sharded benchmark ignores it (adaptation is single-mutator only).
+var ServerPolicy string
+
 // runServer measures the request/response server workload end to end on
 // one preset. Reported extras:
 //
@@ -24,6 +31,9 @@ func runServer(b *testing.B, preset string, mutators int) {
 	sc := server.Scaled(0.1)
 	env := harness.EnvForScale(0.1)
 	env.Mutators = mutators
+	if mutators == 1 {
+		env.Policy = ServerPolicy
+	}
 	hb := int(float64(sc.EstLiveBytes()) * 3)
 	hb = (hb/env.FrameBytes + 1) * env.FrameBytes
 	cfg, err := collectors.Parse(preset, collectors.Options{

@@ -1,0 +1,64 @@
+package check
+
+import (
+	"fmt"
+	"testing"
+
+	"beltway/internal/collectors"
+	"beltway/internal/core"
+	"beltway/internal/policy"
+)
+
+// adaptObjectives are the controller objectives the adaptive oracle
+// battery replays under. Adaptation moves scheduling knobs only, so
+// every objective must preserve mutator-observable semantics: OOM
+// verdicts, allocation-serial streams, and live-graph fingerprints all
+// match the static replay of the same trace.
+var adaptObjectives = []string{"slo", "mmu", "footprint", "throughput"}
+
+// adaptiveConfigs builds one static configuration plus one per
+// objective, each with its own fresh controller (controllers are
+// stateful and single-run). The static config comes first: RunScript
+// records the reference trace on cfgs[0], and the recording run must
+// not consume a controller that a replay then reuses.
+func adaptiveConfigs(t *testing.T, spec string) []core.Config {
+	t.Helper()
+	parse := func() core.Config {
+		cfg, err := collectors.Parse(spec, collectors.Options{})
+		if err != nil {
+			t.Fatalf("parse %q: %v", spec, err)
+		}
+		return cfg
+	}
+	cfgs := []core.Config{parse()}
+	for _, obj := range adaptObjectives {
+		pc, err := policy.Parse(obj)
+		if err != nil {
+			t.Fatalf("policy %q: %v", obj, err)
+		}
+		cfg := parse()
+		cfg.Name = fmt.Sprintf("%s+%s", cfg.Name, obj)
+		cfg.Policy = policy.New(pc)
+		cfgs = append(cfgs, cfg)
+	}
+	return cfgs
+}
+
+// TestAdaptiveOracle replays every seed script through every preset,
+// statically and under each controller objective, and asserts the
+// differential oracle finds no divergence: an adaptive run may schedule
+// different collections, but the heap it shows the mutator is the same.
+func TestAdaptiveOracle(t *testing.T) {
+	for _, seed := range SeedScripts() {
+		for _, spec := range PresetSpecs {
+			seed, spec := seed, spec
+			t.Run(seed.Name+"/"+spec, func(t *testing.T) {
+				t.Parallel()
+				run := RunScript(seed.Script, adaptiveConfigs(t, spec))
+				if run.Failed() {
+					t.Fatalf("adaptive divergence:\n%s", run.Report.String())
+				}
+			})
+		}
+	}
+}

@@ -265,20 +265,21 @@ func (h *Heap) collect(victims []*Increment, trigger gc.TriggerKind) error {
 	h.recomputeReserve()
 	h.inGC = false // the heap is consistent again; hooks may inspect it
 	cn := h.clock.Counters
+	endInfo := gc.GCEndInfo{
+		Duration:          h.clock.Now() - t0,
+		BytesCopied:       cn.BytesCopied - c0.BytesCopied,
+		ObjectsCopied:     cn.ObjectsCopied - c0.ObjectsCopied,
+		RemsetEntries:     cn.RemsetEntriesGC - c0.RemsetEntriesGC,
+		CardsScanned:      cn.CardsScanned - c0.CardsScanned,
+		BootBytesScanned:  cn.BootBytesScanned - c0.BootBytesScanned,
+		BarrierSlowPaths:  cn.BarrierSlowPaths - h.slowAtLastGC,
+		SurvivorBytes:     h.LiveEstimate(),
+		MRObjectsMarked:   cn.MRObjectsMarked - c0.MRObjectsMarked,
+		MRBytesMarked:     cn.MRBytesMarked - c0.MRBytesMarked,
+		MRFramesEvacuated: cn.MRFramesEvacuated - c0.MRFramesEvacuated,
+	}
 	if h.hooks.GCEnd != nil {
-		h.hooks.GCEnd(gc.GCEndInfo{
-			Duration:          h.clock.Now() - t0,
-			BytesCopied:       cn.BytesCopied - c0.BytesCopied,
-			ObjectsCopied:     cn.ObjectsCopied - c0.ObjectsCopied,
-			RemsetEntries:     cn.RemsetEntriesGC - c0.RemsetEntriesGC,
-			CardsScanned:      cn.CardsScanned - c0.CardsScanned,
-			BootBytesScanned:  cn.BootBytesScanned - c0.BootBytesScanned,
-			BarrierSlowPaths:  cn.BarrierSlowPaths - h.slowAtLastGC,
-			SurvivorBytes:     h.LiveEstimate(),
-			MRObjectsMarked:   cn.MRObjectsMarked - c0.MRObjectsMarked,
-			MRBytesMarked:     cn.MRBytesMarked - c0.MRBytesMarked,
-			MRFramesEvacuated: cn.MRFramesEvacuated - c0.MRFramesEvacuated,
-		})
+		h.hooks.GCEnd(endInfo)
 	}
 	h.slowAtLastGC = cn.BarrierSlowPaths
 	if h.hooks.Occupancy != nil {
@@ -297,6 +298,9 @@ func (h *Heap) collect(victims []*Increment, trigger gc.TriggerKind) error {
 	if h.hooks.PostGC != nil {
 		h.hooks.PostGC()
 	}
+	// Adaptive policy runs last, over the consistent post-collection
+	// heap, after every observer has seen this collection's telemetry.
+	h.runTuner(trigger, full, endInfo)
 	return nil
 }
 

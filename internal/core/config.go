@@ -227,6 +227,18 @@ type Config struct {
 	// do, and behavior is bit-identical to a build without the ladder.
 	Degrade bool
 
+	// Policy, when non-nil, is the adaptive-policy hook point (see
+	// tuning.go): it is consulted at the end of every collection and may
+	// retune the scheduling knobs — belt/increment sizing, promotion
+	// targets, trigger thresholds — for the rest of the run. The paper's
+	// policies are static for the life of a run; this is the "online
+	// adaptive policy controller" extension, and internal/policy provides
+	// the objective-driven implementation. Excluded from serialization
+	// like Faults: a controller is run-scoped state, not part of a
+	// configuration's identity, and a nil Policy leaves behavior
+	// bit-identical to a build without the hook.
+	Policy Tuner `json:"-"`
+
 	// Faults, when non-nil, wires deterministic fault injection into the
 	// substrate and the collector hot paths (see gc.FaultHooks and
 	// internal/resilience). Nil — the default — costs one pointer test

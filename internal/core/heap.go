@@ -72,6 +72,10 @@ func New(cfg Config, types *heap.Registry) (*Heap, error) {
 	if isZeroCosts(cfg.Costs) {
 		cfg.Costs = stats.DefaultCosts()
 	}
+	// The heap owns its belt specs: an adaptive Policy retunes them in
+	// place, and the caller's Config (often a preset reused across runs)
+	// must not see those writes.
+	cfg.Belts = append([]BeltSpec(nil), cfg.Belts...)
 	h := &Heap{
 		cfg:   cfg,
 		space: heap.NewSpace(cfg.FrameBytes, types),

@@ -42,6 +42,7 @@ func Extensions() []Experiment {
 	return []Experiment{
 		{"substrate", "Mark-region substrate: 25.25-mr vs Immix vs copying 25.25 vs Appel", (*Suite).FigureSubstrate},
 		{"server", "Server workload: request latency SLOs vs heap size across presets", (*Suite).FigureServer},
+		{"adapt", "Adaptive policy controller: static vs adaptive on the synthetics and the server family", (*Suite).FigureAdapt},
 	}
 }
 

@@ -24,14 +24,20 @@ func FmtUs(v float64) string {
 // back to the exact pause list otherwise — so the table works with or
 // without Env.Telemetry. When any result carries a server report, two
 // SLO columns are appended (request p99.9 latency, fraction of requests
-// overlapping a pause); tables without server results render exactly as
-// before.
+// overlapping a pause); when any carries an adaptive-policy summary, two
+// policy columns are appended (decision count, net knob drift). Tables
+// without server or policy results render exactly as before.
 func ResultsTable(results []*Result) Table {
-	withSLO := false
+	withSLO, withPolicy := false, false
 	for _, r := range results {
-		if r != nil && r.Server != nil {
+		if r == nil {
+			continue
+		}
+		if r.Server != nil {
 			withSLO = true
-			break
+		}
+		if r.Policy != nil {
+			withPolicy = true
 		}
 	}
 	headers := []string{
@@ -40,6 +46,9 @@ func ResultsTable(results []*Result) Table {
 	}
 	if withSLO {
 		headers = append(headers, "req-p99.9(us)", "paused%")
+	}
+	if withPolicy {
+		headers = append(headers, "decisions", "knob-drift")
 	}
 	t := Table{Headers: headers}
 	for _, r := range results {
@@ -50,6 +59,9 @@ func ResultsTable(results []*Result) Table {
 			row := []string{r.Collector, r.Benchmark, FmtMB(r.HeapBytes),
 				"-", "-", "-", "-", "-", "-", "-", "-"}
 			if withSLO {
+				row = append(row, "-", "-")
+			}
+			if withPolicy {
 				row = append(row, "-", "-")
 			}
 			t.AddRow(row...)
@@ -68,6 +80,17 @@ func ResultsTable(results []*Result) Table {
 				row = append(row,
 					FmtUs(r.Server.Overall.Latency.P999),
 					fmt.Sprintf("%.2f", 100*r.Server.Overall.PausedFrac))
+			} else {
+				row = append(row, "-", "-")
+			}
+		}
+		if withPolicy {
+			if r.Policy != nil {
+				drift := r.Policy.Drift
+				if drift == "" {
+					drift = "-"
+				}
+				row = append(row, fmt.Sprintf("%d", r.Policy.Decisions), drift)
 			} else {
 				row = append(row, "-", "-")
 			}

@@ -46,7 +46,7 @@ func TestResultsTableGolden(t *testing.T) {
 	want := "" +
 		"collector      benchmark  heap(MB)  total(s)  gc(s)   gc%  gcs  p50(ms)  p95(ms)  p99(ms)  max(ms)\n" +
 		"--------------------------------------------------------------------------------------------------\n" +
-		"Beltway 25.25       jess      4.00     2.000  0.200  10.0    7     2.00     2.00     2.00     4.00\n"
+		"Beltway 25.25       jess      4.00     2.000  0.200  10.0    7     2.00     4.00     4.00     4.00\n"
 	if got := tbl.String(); got != want {
 		t.Fatalf("classic table drifted:\ngot:\n%s\nwant:\n%s", got, want)
 	}
@@ -59,8 +59,8 @@ func TestResultsTableServerGolden(t *testing.T) {
 	want := "" +
 		"collector      benchmark  heap(MB)  total(s)  gc(s)   gc%  gcs  p50(ms)  p95(ms)  p99(ms)  max(ms)  req-p99.9(us)  paused%\n" +
 		"--------------------------------------------------------------------------------------------------------------------------\n" +
-		"Beltway 25.25       jess      4.00     2.000  0.200  10.0    7     2.00     2.00     2.00     4.00              -        -\n" +
-		"Beltway 25.25     server      4.00     2.000  0.200  10.0    7     2.00     2.00     2.00     4.00         1000.0     0.30\n"
+		"Beltway 25.25       jess      4.00     2.000  0.200  10.0    7     2.00     4.00     4.00     4.00              -        -\n" +
+		"Beltway 25.25     server      4.00     2.000  0.200  10.0    7     2.00     4.00     4.00     4.00         1000.0     0.30\n"
 	if got := tbl.String(); got != want {
 		t.Fatalf("server table drifted:\ngot:\n%s\nwant:\n%s", got, want)
 	}

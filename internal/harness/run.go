@@ -15,6 +15,7 @@ import (
 	"beltway/internal/gc"
 	"beltway/internal/heap"
 	"beltway/internal/mmu"
+	"beltway/internal/policy"
 	"beltway/internal/resilience"
 	"beltway/internal/server"
 	"beltway/internal/stats"
@@ -54,6 +55,12 @@ type Env struct {
 	// stream, and the measurement is the simulated N-core makespan.
 	// 0 and 1 both mean the classic single-mutator run.
 	Mutators int `json:",omitempty"`
+	// Policy, when non-empty, attaches the adaptive policy controller
+	// (internal/policy) with this objective spec — policy.Parse syntax,
+	// e.g. "slo", "mmu:floor=0.7", "throughput". Adaptive runs are
+	// single-mutator only. Empty (the default) leaves every run exactly
+	// as static as the paper's.
+	Policy string `json:",omitempty"`
 }
 
 // DefaultEnv mirrors the paper's testbed at scale 1: see EnvForScale.
@@ -119,6 +126,9 @@ type Result struct {
 	// Server is the request/latency report of a server-workload run
 	// (RunServer); nil for the classic benchmark runs.
 	Server *server.Report `json:",omitempty"`
+	// Policy is the adaptive controller's digest (decision count, knob
+	// drift), present only when Env.Policy was set.
+	Policy *policy.Summary `json:",omitempty"`
 }
 
 // Incomplete reports whether the run produced no valid end-to-end
@@ -162,6 +172,10 @@ func (r *Result) MMU(points int) mmu.Curve {
 // misconfiguration.
 func RunOne(cfg core.Config, bench *workload.Benchmark, env Env) (res *Result, err error) {
 	if env.Mutators > 1 {
+		if env.Policy != "" {
+			_, err := newController(env)
+			return nil, err
+		}
 		return RunSharded(cfg, bench, env)
 	}
 	if env.Degrade {
@@ -170,6 +184,13 @@ func RunOne(cfg core.Config, bench *workload.Benchmark, env Env) (res *Result, e
 	if env.FaultSeed != 0 && cfg.Faults == nil {
 		sched := resilience.NewSchedule(env.FaultSeed, resilience.DefaultHorizon)
 		cfg.Faults = resilience.NewInjector(sched).Hooks()
+	}
+	ctrl, cerr := newController(env)
+	if cerr != nil {
+		return nil, cerr
+	}
+	if ctrl != nil {
+		cfg.Policy = ctrl
 	}
 	types := heap.NewRegistry()
 	h, herr := core.New(cfg, types)
@@ -183,6 +204,9 @@ func RunOne(cfg core.Config, bench *workload.Benchmark, env Env) (res *Result, e
 	// when Env.Telemetry is off.
 	tele := telemetry.NewRun(h.Clock())
 	h.SetHooks(tele.Hooks())
+	if ctrl != nil {
+		ctrl.SetEmitter(tele.PolicyObserver())
+	}
 	snapshot := func() *Result {
 		res := &Result{
 			Collector:   cfg.Name,
@@ -197,6 +221,9 @@ func RunOne(cfg core.Config, bench *workload.Benchmark, env Env) (res *Result, e
 		}
 		if env.Telemetry {
 			res.Telemetry = tele.Snapshot()
+		}
+		if ctrl != nil {
+			res.Policy = ctrl.Summary()
 		}
 		return res
 	}
@@ -231,4 +258,23 @@ func RunOne(cfg core.Config, bench *workload.Benchmark, env Env) (res *Result, e
 		return nil, fmt.Errorf("harness: %s on %s: %w", cfg.Name, bench.Name, runErr)
 	}
 	return res, nil
+}
+
+// newController builds the adaptive controller declared by Env.Policy
+// (nil when the env declares none). Controllers are stateful and
+// per-run: every RunOne/RunServer call gets a fresh one. Adaptive runs
+// are single-mutator only — sharded heaps tune independently per shard,
+// which is a different (and unimplemented) design.
+func newController(env Env) (*policy.Controller, error) {
+	if env.Policy == "" {
+		return nil, nil
+	}
+	if env.Mutators > 1 {
+		return nil, fmt.Errorf("harness: adaptive policy (%q) is single-mutator only (got Mutators=%d)", env.Policy, env.Mutators)
+	}
+	pc, err := policy.Parse(env.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+	return policy.New(pc), nil
 }

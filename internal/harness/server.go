@@ -18,6 +18,16 @@ import (
 // serverBenchName is the Result.Benchmark of server-workload runs.
 const serverBenchName = "server"
 
+// multiObserver fans one request stream out to several observers
+// (telemetry plus the adaptive controller).
+type multiObserver []server.Observer
+
+func (m multiObserver) Request(kind, phase, key int, start, latency, pauseCost float64) {
+	for _, o := range m {
+		o.Request(kind, phase, key, start, latency, pauseCost)
+	}
+}
+
 // RunServer executes a server workload (internal/server) on one
 // collector configuration: request/response traffic over a keyed store,
 // with per-request latencies stamped on the cost-unit clock and the SLO
@@ -27,6 +37,10 @@ const serverBenchName = "server"
 // still summarized.
 func RunServer(cfg core.Config, sc server.Config, slo server.SLO, env Env) (res *Result, err error) {
 	if env.Mutators > 1 {
+		if env.Policy != "" {
+			_, err := newController(env)
+			return nil, err
+		}
 		return RunServerSharded(cfg, sc, slo, env)
 	}
 	if env.Degrade {
@@ -36,6 +50,13 @@ func RunServer(cfg core.Config, sc server.Config, slo server.SLO, env Env) (res 
 		sched := resilience.NewSchedule(env.FaultSeed, resilience.DefaultHorizon)
 		cfg.Faults = resilience.NewInjector(sched).Hooks()
 	}
+	ctrl, cerr := newController(env)
+	if cerr != nil {
+		return nil, cerr
+	}
+	if ctrl != nil {
+		cfg.Policy = ctrl
+	}
 	types := heap.NewRegistry()
 	h, herr := core.New(cfg, types)
 	if herr != nil {
@@ -44,8 +65,17 @@ func RunServer(cfg core.Config, sc server.Config, slo server.SLO, env Env) (res 
 	h.Clock().Budget = env.CostBudget
 	tele := telemetry.NewRun(h.Clock())
 	h.SetHooks(tele.Hooks())
+	if ctrl != nil {
+		ctrl.SetEmitter(tele.PolicyObserver())
+	}
 	m := vm.New(h)
-	loop, lerr := server.NewLoop(sc, server.LoopOpts{Observer: tele.ServerObserver()})
+	// The controller rides the request stream too (phase-boundary
+	// detection), so compose it with the telemetry observer.
+	var obs server.Observer = tele.ServerObserver()
+	if ctrl != nil {
+		obs = multiObserver{tele.ServerObserver(), ctrl}
+	}
+	loop, lerr := server.NewLoop(sc, server.LoopOpts{Observer: obs})
 	if lerr != nil {
 		return nil, fmt.Errorf("harness: %s on %s: %w", cfg.Name, serverBenchName, lerr)
 	}
@@ -65,6 +95,9 @@ func RunServer(cfg core.Config, sc server.Config, slo server.SLO, env Env) (res 
 		tele.ServerObserver().AddViolations(res.Server.Violations())
 		if env.Telemetry {
 			res.Telemetry = tele.Snapshot()
+		}
+		if ctrl != nil {
+			res.Policy = ctrl.Summary()
 		}
 		return res
 	}
@@ -115,6 +148,9 @@ func RunServerSharded(cfg core.Config, sc server.Config, slo server.SLO, env Env
 	n := env.Mutators
 	if n < 1 {
 		n = 1
+	}
+	if env.Policy != "" {
+		return nil, fmt.Errorf("harness: adaptive policy (%q) is not supported on the sharded runtime (shards would tune independently)", env.Policy)
 	}
 	if err := sc.Validate(); err != nil {
 		return nil, fmt.Errorf("harness: %s on %s: %w", cfg.Name, serverBenchName, err)

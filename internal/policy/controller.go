@@ -1,0 +1,439 @@
+package policy
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"beltway/internal/core"
+	"beltway/internal/mmu"
+	"beltway/internal/stats"
+)
+
+// Decision is one controller action: at collection GC (cost-unit time
+// Time), for Reason, knob Knob of belt Belt was set to Value. Marker
+// decisions (e.g. phase boundaries) carry KnobNone and change nothing.
+type Decision struct {
+	GC     uint64    `json:"gc"`
+	Time   float64   `json:"t"`
+	Reason Reason    `json:"reason"`
+	Knob   core.Knob `json:"knob"`
+	Belt   int       `json:"belt"`
+	Value  float64   `json:"value"`
+}
+
+// Emitter receives every controller decision as it is made (telemetry
+// wiring; see telemetry.PolicyObserver, which implements this
+// structurally so neither package imports the other). Implementations
+// must not advance the clock.
+type Emitter interface {
+	Decision(gcOrdinal uint64, now float64, reason, knob, belt int, value float64)
+}
+
+// Controller is the objective-driven core.Tuner (and, for server runs,
+// server.Observer). One Controller drives one run: it is stateful and
+// must not be shared or reused across heaps.
+type Controller struct {
+	cfg  Config
+	emit Emitter
+
+	// pauseBudget is the SLO-implied bound on a single pause: half the
+	// tightest of the SLO's max/p999 bounds (those bound pause magnitude;
+	// p50/p95/p99 bound pause frequency, which growing the nursery does
+	// not help). +Inf when the SLO has no magnitude bound.
+	pauseBudget float64
+
+	initial []core.BeltSpec // knob values at the first collection
+	cur     []core.BeltSpec // knob values after the latest decisions
+
+	grown         bool   // a grow-type decision is in effect
+	burned        bool   // growth was reverted; never grow again this run
+	cooldownUntil uint64 // no repeated tuning before this collection ordinal
+
+	phase      int  // last observed server phase (-1 before any request)
+	phaseShift bool // a phase boundary occurred since the last Tune
+	requests   uint64
+
+	pauses []stats.Pause // pause history for MMU windows
+	gcTime float64       // cumulative pause time
+
+	decisions []Decision
+}
+
+// New builds a controller for one run.
+func New(cfg Config) *Controller {
+	c := &Controller{cfg: cfg, pauseBudget: math.Inf(1), phase: -1}
+	for _, t := range cfg.SLO.Targets {
+		if t.Quantile == "max" || t.Quantile == "p999" {
+			if b := 0.5 * t.Cost; b < c.pauseBudget {
+				c.pauseBudget = b
+			}
+		}
+	}
+	return c
+}
+
+// Objective returns the controller's declared objective.
+func (c *Controller) Objective() Objective { return c.cfg.Objective }
+
+// SetEmitter wires decision telemetry; nil disables it.
+func (c *Controller) SetEmitter(e Emitter) { c.emit = e }
+
+// Request implements server.Observer: the controller watches the request
+// stream only for phase boundaries (a phase change lifts the tuning
+// cooldown, since the workload it tuned against is gone). It never
+// advances the clock.
+func (c *Controller) Request(kind, phase, key int, start, latency, pauseCost float64) {
+	c.requests++
+	if phase != c.phase {
+		if c.phase >= 0 {
+			c.phaseShift = true
+		}
+		c.phase = phase
+	}
+}
+
+// Tune implements core.Tuner.
+func (c *Controller) Tune(in core.TuneInput) []core.KnobUpdate {
+	if c.initial == nil {
+		c.initial = append([]core.BeltSpec(nil), in.Belts...)
+	}
+	c.cur = in.Belts
+	c.pauses = append(c.pauses, stats.Pause{Start: in.Now - in.End.Duration, End: in.Now})
+	c.gcTime += in.End.Duration
+
+	if c.phaseShift {
+		c.phaseShift = false
+		c.note(in, ReasonPhaseShift, core.KnobNone, -1, float64(c.phase))
+		c.cooldownUntil = 0
+	}
+
+	var ups []core.KnobUpdate
+	switch c.cfg.Objective {
+	case ObjSLO:
+		ups = c.tuneSLO(in)
+	case ObjMMU:
+		ups = c.tuneMMU(in)
+	case ObjFootprint:
+		ups = c.tuneFootprint(in)
+	case ObjThroughput:
+		ups = c.tuneThroughput(in)
+	}
+	// Mirror the updates into the tracked knob state so Drift reflects
+	// decisions made this very collection.
+	for _, u := range ups {
+		if u.Belt < 0 || u.Belt >= len(c.cur) {
+			continue
+		}
+		switch u.Knob {
+		case core.KnobIncrementFrac:
+			c.cur[u.Belt].IncrementFrac = u.Value
+		case core.KnobReserveFrac:
+			c.cur[u.Belt].ReserveFrac = u.Value
+		case core.KnobMaxIncrements:
+			c.cur[u.Belt].MaxIncrements = int(u.Value)
+		case core.KnobPromoteTo:
+			c.cur[u.Belt].PromoteTo = int(u.Value)
+		}
+	}
+	return ups
+}
+
+// tuneSLO bounds pause magnitude under the SLO's max/p999 bounds. The
+// lever is the one the paper's own data motivates: Figure 6 shows fixed
+// small nurseries promote prematurely, inflating the copy volume — and
+// hence the pause — of the eventual full collection; Appel's
+// all-of-usable-memory nursery avoids it. When a pause exceeds the
+// budget (or the cost model predicts the next full collection will:
+// live*CopyByte + GCSetup), the controller reshapes the nursery belt to
+// Appel's — IncrementFrac 1, no permanent reservation — provided there
+// is headroom. If live data later squeezes usable memory, the growth is
+// reverted once and for all: a controller must never turn a
+// statically-surviving run into an OOM.
+func (c *Controller) tuneSLO(in core.TuneInput) []core.KnobUpdate {
+	if c.grown && !c.burned {
+		if occupancySqueezed(in) {
+			return c.revert(in)
+		}
+		return nil
+	}
+	if c.grown || c.burned || math.IsInf(c.pauseBudget, 1) {
+		return nil
+	}
+	predicted := in.Costs.GCSetup + float64(in.LiveBytes)*in.Costs.CopyByte
+	if in.End.Duration <= c.pauseBudget && predicted <= c.pauseBudget {
+		return nil
+	}
+	if !growable(in) || float64(in.LiveBytes) > 0.6*float64(in.HeapBytes/2) {
+		return nil
+	}
+	var ups []core.KnobUpdate
+	if in.Belts[0].IncrementFrac < 1.0 {
+		ups = append(ups, c.decide(in, ReasonPauseOverBudget, core.KnobIncrementFrac, 0, 1.0))
+	}
+	if in.Belts[0].ReserveFrac > 0 {
+		ups = append(ups, c.decide(in, ReasonPauseOverBudget, core.KnobReserveFrac, 0, 0))
+	}
+	if len(ups) > 0 {
+		c.grown = true
+	}
+	return ups
+}
+
+// growable reports whether the nursery-growth lever exists for this
+// configuration: a copying belt 0 below Appel shape, with an older belt
+// to promote into, outside older-first/MOS (whose belt roles are
+// load-bearing). Mark-region belts have no lever here — a renewed
+// increment keeps its frames, so growth would not change the condemned
+// set shape.
+func growable(in core.TuneInput) bool {
+	if in.OlderFirst || in.MOS || len(in.Belts) < 2 {
+		return false
+	}
+	b0 := in.Belts[0]
+	if b0.Substrate != core.Copying {
+		return false
+	}
+	return b0.IncrementFrac < 1.0 || b0.ReserveFrac > 0
+}
+
+// occupancySqueezed reports whether live data is crowding usable memory
+// badly enough that a grow-type decision must be undone. LiveBytes is
+// post-collection occupancy, which between full collections includes the
+// floating garbage of uncollected belts — an overestimate that would
+// trip the guard spuriously — so the check only counts right after a
+// full collection, when occupancy approximates true live data.
+func occupancySqueezed(in core.TuneInput) bool {
+	return in.Full && float64(in.LiveBytes) > 0.75*float64(in.HeapBytes-in.ReserveBytes)
+}
+
+// revert restores every knob to its initial value and retires the
+// controller's grow lever for the rest of the run.
+func (c *Controller) revert(in core.TuneInput) []core.KnobUpdate {
+	var ups []core.KnobUpdate
+	for i := range c.initial {
+		if i >= len(in.Belts) {
+			break
+		}
+		if in.Belts[i].IncrementFrac != c.initial[i].IncrementFrac {
+			ups = append(ups, c.decide(in, ReasonOccupancyRevert, core.KnobIncrementFrac, i, c.initial[i].IncrementFrac))
+		}
+		if in.Belts[i].ReserveFrac != c.initial[i].ReserveFrac {
+			ups = append(ups, c.decide(in, ReasonOccupancyRevert, core.KnobReserveFrac, i, c.initial[i].ReserveFrac))
+		}
+	}
+	c.grown, c.burned = false, true
+	return ups
+}
+
+// tuneMMU shrinks the widest increments when worst-window utilization
+// falls below the floor: smaller condemned sets bound single-pause
+// length, the x-intercept of the MMU curve. Multiplicative decrease with
+// a cooldown, and never in a tight heap (shrinking the nursery promotes
+// prematurely, which costs memory).
+func (c *Controller) tuneMMU(in core.TuneInput) []core.KnobUpdate {
+	if in.GC < c.cooldownUntil {
+		return nil
+	}
+	if mmu.MMU(c.pauses, in.Now, c.cfg.MMUWindow) >= c.cfg.MMUFloor {
+		return nil
+	}
+	return c.shrinkWidest(in, ReasonMMUBelowFloor)
+}
+
+// tuneFootprint is two-sided: over the cap it shrinks increments
+// (collect sooner, map fewer frames); comfortably under it (< 80% of
+// the cap) it relaxes shrunk belts back toward their configured sizes,
+// one multiplicative step at a time.
+func (c *Controller) tuneFootprint(in core.TuneInput) []core.KnobUpdate {
+	if in.GC < c.cooldownUntil {
+		return nil
+	}
+	capBytes := c.cfg.FootprintCap * float64(in.HeapBytes)
+	fp := float64(in.FootprintBytes)
+	if fp > capBytes {
+		return c.shrinkWidest(in, ReasonFootprintOverCap)
+	}
+	if fp < 0.8*capBytes {
+		for i := range in.Belts {
+			if i >= len(c.initial) {
+				break
+			}
+			cfgd, cur := c.initial[i].IncrementFrac, in.Belts[i].IncrementFrac
+			if cur < cfgd {
+				nf := cur * 1.5
+				if nf > cfgd {
+					nf = cfgd
+				}
+				c.cooldownUntil = in.GC + 4
+				return []core.KnobUpdate{c.decide(in, ReasonFootprintRelax, core.KnobIncrementFrac, i, nf)}
+			}
+		}
+	}
+	return nil
+}
+
+// shrinkWidest halves the IncrementFrac of the widest copying belt,
+// floored at two frames' worth, guarded against tight heaps.
+func (c *Controller) shrinkWidest(in core.TuneInput, why Reason) []core.KnobUpdate {
+	usable := float64(in.HeapBytes - in.ReserveBytes)
+	if usable <= 0 || float64(in.LiveBytes) > 0.6*usable {
+		return nil
+	}
+	belt, frac := widestCopyingBelt(in)
+	if belt < 0 {
+		return nil
+	}
+	nf := frac / 2
+	if minFrac := 2 * float64(in.FrameBytes) / usable; nf < minFrac {
+		nf = minFrac
+	}
+	if nf >= frac {
+		return nil
+	}
+	c.cooldownUntil = in.GC + 4
+	return []core.KnobUpdate{c.decide(in, why, core.KnobIncrementFrac, belt, nf)}
+}
+
+// widestCopyingBelt finds the tunable belt with the largest effective
+// increment fraction (unbounded counts as 1).
+func widestCopyingBelt(in core.TuneInput) (int, float64) {
+	if in.OlderFirst {
+		return -1, 0
+	}
+	best, bf := -1, 0.0
+	for i, s := range in.Belts {
+		if s.Substrate != core.Copying {
+			continue
+		}
+		if in.MOS && i == len(in.Belts)-1 {
+			continue
+		}
+		f := s.IncrementFrac
+		if f > 1 {
+			f = 1
+		}
+		if f > bf {
+			best, bf = i, f
+		}
+	}
+	return best, bf
+}
+
+// tuneThroughput grows the narrowest bounded copying belt when the GC
+// share of total time exceeds the target: fewer, larger collections
+// amortize per-collection setup and re-tracing. Same occupancy guard and
+// one-shot revert as the SLO objective.
+func (c *Controller) tuneThroughput(in core.TuneInput) []core.KnobUpdate {
+	if c.grown && !c.burned {
+		if occupancySqueezed(in) {
+			return c.revert(in)
+		}
+	}
+	if c.burned || in.GC < c.cooldownUntil || in.Now <= 0 {
+		return nil
+	}
+	if c.gcTime/in.Now <= c.cfg.GCTarget {
+		return nil
+	}
+	if in.OlderFirst || in.MOS {
+		return nil
+	}
+	if float64(in.LiveBytes) > 0.5*float64(in.HeapBytes/2) {
+		return nil
+	}
+	best, bf := -1, math.MaxFloat64
+	for i, s := range in.Belts {
+		if s.Substrate != core.Copying || s.IncrementFrac >= 1.0 {
+			continue
+		}
+		if s.IncrementFrac < bf {
+			best, bf = i, s.IncrementFrac
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	nf := bf * 1.5
+	if nf > 1.0 {
+		nf = 1.0
+	}
+	c.cooldownUntil = in.GC + 4
+	c.grown = true
+	return []core.KnobUpdate{c.decide(in, ReasonGCOverheadHigh, core.KnobIncrementFrac, best, nf)}
+}
+
+// decide records a decision and returns its knob update.
+func (c *Controller) decide(in core.TuneInput, why Reason, k core.Knob, belt int, v float64) core.KnobUpdate {
+	c.note(in, why, k, belt, v)
+	return core.KnobUpdate{Knob: k, Belt: belt, Value: v}
+}
+
+// note records a (possibly marker) decision and emits it to telemetry.
+func (c *Controller) note(in core.TuneInput, why Reason, k core.Knob, belt int, v float64) {
+	c.decisions = append(c.decisions, Decision{
+		GC: in.GC, Time: in.Now, Reason: why, Knob: k, Belt: belt, Value: v,
+	})
+	if c.emit != nil {
+		c.emit.Decision(in.GC, in.Now, int(why), int(k), belt, v)
+	}
+}
+
+// Decisions returns a copy of the decision log.
+func (c *Controller) Decisions() []Decision {
+	return append([]Decision(nil), c.decisions...)
+}
+
+// DecisionLog renders the decision log one line per decision — the
+// determinism tests compare these byte-for-byte across replays.
+func (c *Controller) DecisionLog() string {
+	var b strings.Builder
+	for _, d := range c.decisions {
+		fmt.Fprintf(&b, "gc=%d t=%.0f reason=%s knob=%s belt=%d value=%g\n",
+			d.GC, d.Time, d.Reason, d.Knob, d.Belt, d.Value)
+	}
+	return b.String()
+}
+
+// Drift summarizes the net knob movement ("b0.frac 0.25->1"), empty when
+// nothing moved.
+func (c *Controller) Drift() string {
+	if c.initial == nil || c.cur == nil {
+		return ""
+	}
+	var parts []string
+	for i := range c.initial {
+		if i >= len(c.cur) {
+			break
+		}
+		if c.cur[i].IncrementFrac != c.initial[i].IncrementFrac {
+			parts = append(parts, fmt.Sprintf("b%d.frac %g->%g", i, c.initial[i].IncrementFrac, c.cur[i].IncrementFrac))
+		}
+		if c.cur[i].ReserveFrac != c.initial[i].ReserveFrac {
+			parts = append(parts, fmt.Sprintf("b%d.reserve %g->%g", i, c.initial[i].ReserveFrac, c.cur[i].ReserveFrac))
+		}
+		if c.cur[i].MaxIncrements != c.initial[i].MaxIncrements {
+			parts = append(parts, fmt.Sprintf("b%d.max %d->%d", i, c.initial[i].MaxIncrements, c.cur[i].MaxIncrements))
+		}
+		if c.cur[i].PromoteTo != c.initial[i].PromoteTo {
+			parts = append(parts, fmt.Sprintf("b%d.promote %d->%d", i, c.initial[i].PromoteTo, c.cur[i].PromoteTo))
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// Summary is the JSON-able digest attached to harness results.
+type Summary struct {
+	Objective string `json:"objective"`
+	Decisions int    `json:"decisions"`
+	Drift     string `json:"drift,omitempty"`
+}
+
+// Summary digests the controller's run for results tables and JSON.
+func (c *Controller) Summary() *Summary {
+	return &Summary{
+		Objective: c.cfg.Objective.String(),
+		Decisions: len(c.decisions),
+		Drift:     c.Drift(),
+	}
+}

@@ -2,9 +2,12 @@ package server
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
+
+	"beltway/internal/stats"
 )
 
 // SLO is a set of latency objectives, each bounding one quantile of the
@@ -40,13 +43,15 @@ func quantileValue(name string, d *Dist) (float64, bool) {
 
 // ParseSLO parses a declaration like "p99=500000" or
 // "p95=200000,p999=2000000". Quantile names are p50, p95, p99, p999
-// (p99.9 is accepted as an alias) and max; bounds are cost units.
+// (p99.9 is accepted as an alias) and max; bounds are finite positive
+// cost-unit counts, and each quantile may be bounded at most once.
 func ParseSLO(s string) (SLO, error) {
 	var slo SLO
 	s = strings.TrimSpace(s)
 	if s == "" {
 		return slo, nil
 	}
+	seen := make(map[string]bool)
 	for _, part := range strings.Split(s, ",") {
 		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
 		if !ok {
@@ -61,9 +66,17 @@ func ParseSLO(s string) (SLO, error) {
 		default:
 			return SLO{}, fmt.Errorf("server: unknown SLO quantile %q (want p50, p95, p99, p999 or max)", name)
 		}
+		if seen[name] {
+			return SLO{}, fmt.Errorf("server: duplicate SLO quantile %q", name)
+		}
+		seen[name] = true
+		// ParseFloat happily returns NaN and ±Inf; neither is a usable
+		// bound (NaN fails every comparison, +Inf passes everything), so
+		// reject non-finite values explicitly — `c <= 0` alone lets both
+		// through.
 		c, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
-		if err != nil || c <= 0 {
-			return SLO{}, fmt.Errorf("server: bad SLO bound %q (want a positive cost-unit count)", val)
+		if err != nil || c <= 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+			return SLO{}, fmt.Errorf("server: bad SLO bound %q (want a finite positive cost-unit count)", val)
 		}
 		slo.Targets = append(slo.Targets, Target{Quantile: name, Cost: c})
 	}
@@ -125,21 +138,13 @@ func Summarize(latencies []float64) *Dist {
 	for _, v := range sorted {
 		sum += v
 	}
-	rank := func(q float64) float64 {
-		// Nearest-rank on the sorted sample, matching stats.SummarizePauses.
-		i := int(q*float64(len(sorted))+0.5) - 1
-		if i < 0 {
-			i = 0
-		}
-		if i >= len(sorted) {
-			i = len(sorted) - 1
-		}
-		return sorted[i]
-	}
-	d.P50 = rank(0.50)
-	d.P95 = rank(0.95)
-	d.P99 = rank(0.99)
-	d.P999 = rank(0.999)
+	// stats.NearestRank is the one exact-quantile definition shared with
+	// stats.SummarizePauses, so request-latency and pause quantiles agree
+	// on small samples.
+	d.P50 = stats.NearestRank(sorted, 0.50)
+	d.P95 = stats.NearestRank(sorted, 0.95)
+	d.P99 = stats.NearestRank(sorted, 0.99)
+	d.P999 = stats.NearestRank(sorted, 0.999)
 	d.Max = sorted[len(sorted)-1]
 	d.Mean = sum / float64(len(sorted))
 	return d

@@ -1,0 +1,71 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseSLOEdgeCases pins the parser's rejection surface: non-finite
+// bounds (NaN fails every comparison, +Inf passes everything — both
+// previously slipped through ParseFloat), duplicates, malformed terms,
+// and whitespace tolerance.
+func TestParseSLOEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      string
+		wantErr string // substring; "" means the spec must parse
+		targets int
+	}{
+		{"empty", "", "", 0},
+		{"blank", "   ", "", 0},
+		{"single", "p99=10e3", "", 1},
+		{"multi", "p99=10e3,p999=1e6,max=5e6", "", 3},
+		{"whitespace", "  p99 = 10e3 , max = 5e6  ", "", 2},
+		{"alias", "p99.9=1e6", "", 1},
+		{"nan", "p99=NaN", "bad SLO bound", 0},
+		{"nan-lower", "max=nan", "bad SLO bound", 0},
+		{"pos-inf", "p99=+Inf", "bad SLO bound", 0},
+		{"inf", "max=Inf", "bad SLO bound", 0},
+		{"neg-inf", "p999=-Inf", "bad SLO bound", 0},
+		{"zero", "p99=0", "bad SLO bound", 0},
+		{"negative", "p99=-1", "bad SLO bound", 0},
+		{"not-a-number", "p99=fast", "bad SLO bound", 0},
+		{"empty-bound", "p99=", "bad SLO bound", 0},
+		{"dup", "p99=1,p99=2", "duplicate SLO quantile", 0},
+		{"dup-via-alias", "p999=1e6,p99.9=2e6", "duplicate SLO quantile", 0},
+		{"unknown-quantile", "p90=1e3", "unknown SLO quantile", 0},
+		{"missing-eq", "p99", "bad SLO term", 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			slo, err := ParseSLO(tc.in)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("ParseSLO(%q): unexpected error %v", tc.in, err)
+				}
+				if len(slo.Targets) != tc.targets {
+					t.Fatalf("ParseSLO(%q): %d targets, want %d", tc.in, len(slo.Targets), tc.targets)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("ParseSLO(%q) = %+v, want error containing %q", tc.in, slo, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("ParseSLO(%q) error %q, want substring %q", tc.in, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestSLOAliasNormalized: the p99.9 alias parses to the canonical p999
+// target so Evaluate finds it in a Dist.
+func TestSLOAliasNormalized(t *testing.T) {
+	slo, err := ParseSLO("p99.9=1e6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slo.Targets[0].Quantile != "p999" {
+		t.Fatalf("alias not normalized: %q", slo.Targets[0].Quantile)
+	}
+}

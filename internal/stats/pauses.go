@@ -1,6 +1,9 @@
 package stats
 
-import "sort"
+import (
+	"math"
+	"sort"
+)
 
 // PauseStats summarizes a run's pause-time distribution — the simple
 // responsiveness measures (§4.3 notes their limits, which is why the
@@ -29,19 +32,30 @@ func SummarizePauses(pauses []Pause) PauseStats {
 	}
 	sort.Float64s(ds)
 	s.Mean = s.Total / float64(len(ds))
-	s.Median = quantile(ds, 0.5)
-	s.P90 = quantile(ds, 0.9)
-	s.P95 = quantile(ds, 0.95)
-	s.P99 = quantile(ds, 0.99)
+	s.Median = NearestRank(ds, 0.5)
+	s.P90 = NearestRank(ds, 0.9)
+	s.P95 = NearestRank(ds, 0.95)
+	s.P99 = NearestRank(ds, 0.99)
 	s.Max = ds[len(ds)-1]
 	return s
 }
 
-// quantile returns the q-quantile of sorted xs by nearest-rank.
-func quantile(xs []float64, q float64) float64 {
+// NearestRank returns the q-quantile of the ascending-sorted sample xs by
+// the nearest-rank definition: the smallest element whose cumulative
+// frequency is at least q, i.e. xs[ceil(q*n)-1], clamped to the sample.
+// This is the one quantile definition shared by every exact quantile in
+// the suite (pause summaries here, request-latency SLO verdicts in
+// internal/server), so small-sample percentiles agree across tables.
+func NearestRank(xs []float64, q float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
-	i := int(q * float64(len(xs)-1))
+	i := int(math.Ceil(q*float64(len(xs)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(xs) {
+		i = len(xs) - 1
+	}
 	return xs[i]
 }

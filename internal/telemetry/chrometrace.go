@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"beltway/internal/stats"
 )
@@ -119,6 +120,21 @@ func runTraceEvents(run TraceRun) []traceEvent {
 				Name: "OOM", Cat: "gc", Ph: "i",
 				Ts: usec(e.Time), Pid: run.Pid, Tid: 1,
 				Args: map[string]any{"requested": e.A, "heap_bytes": e.B},
+			})
+		case EvPolicy:
+			belt := "global"
+			if bb := uint8(e.A >> 8); bb != 0 {
+				belt = fmt.Sprintf("belt%d", bb-1)
+			}
+			out = append(out, traceEvent{
+				Name: "policy: " + policyKnobName(uint8(e.A)), Cat: "policy", Ph: "i",
+				Ts: usec(e.Time), Pid: run.Pid, Tid: 1,
+				Args: map[string]any{
+					"reason": policyReasonName(uint8(e.A >> 24)),
+					"belt":   belt,
+					"value":  math.Float64frombits(e.B),
+					"gc":     e.GC,
+				},
 			})
 		case EvRequest:
 			// Request slices go on their own track (tid 2) so GC pauses

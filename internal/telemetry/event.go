@@ -8,7 +8,10 @@
 // so enabling telemetry cannot change any experiment's results.
 package telemetry
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // EventKind discriminates flight-recorder events. The A..D payload slots
 // of Event are interpreted per kind; see the constants below.
@@ -76,6 +79,14 @@ const (
 	//   C = phase index
 	//   D = pause cost inside the request, in whole cost units
 	EvRequest
+
+	// EvPolicy: the adaptive policy controller made a decision
+	// (internal/policy). Marker decisions (e.g. a phase-shift note) carry
+	// knob 0.
+	//   A = knob id (core.Knob) | (belt+1)<<8 (0 in that byte for global
+	//       knobs) | reason<<24 (policy.Reason)
+	//   B = math.Float64bits of the knob's new value
+	EvPolicy
 )
 
 func (k EventKind) String() string {
@@ -96,6 +107,8 @@ func (k EventKind) String() string {
 		return "degrade"
 	case EvRequest:
 		return "request"
+	case EvPolicy:
+		return "policy"
 	default:
 		return "none"
 	}
@@ -163,6 +176,14 @@ func (e Event) String() string {
 		}
 		return fmt.Sprintf("#%d t=%.0f request %s key=%d phase=%d dur=%.0f%s",
 			e.Seq, e.Time, kind, e.B, e.C, e.Dur, paused)
+	case EvPolicy:
+		belt := "global"
+		if bb := uint8(e.A >> 8); bb != 0 {
+			belt = fmt.Sprintf("belt%d", bb-1)
+		}
+		return fmt.Sprintf("#%d t=%.0f gc%d policy %s: %s(%s)=%g",
+			e.Seq, e.Time, e.GC, policyReasonName(uint8(e.A>>24)),
+			policyKnobName(uint8(e.A)), belt, math.Float64frombits(e.B))
 	default:
 		return fmt.Sprintf("#%d t=%.0f %s", e.Seq, e.Time, e.Kind)
 	}
@@ -185,6 +206,50 @@ func triggerName(t uint8) string {
 		return "emergency"
 	default:
 		return "unknown"
+	}
+}
+
+// policyKnobName mirrors core.Knob.String without importing core (like
+// triggerName, telemetry only reads the numeric id it stored).
+func policyKnobName(k uint8) string {
+	switch k {
+	case 1:
+		return "increment-frac"
+	case 2:
+		return "max-increments"
+	case 3:
+		return "reserve-frac"
+	case 4:
+		return "promote-to"
+	case 5:
+		return "remset-threshold"
+	case 6:
+		return "ttd-bytes"
+	default:
+		return "none"
+	}
+}
+
+// policyReasonName mirrors policy.Reason.String, again without importing
+// the policy package.
+func policyReasonName(r uint8) string {
+	switch r {
+	case 1:
+		return "pause-over-budget"
+	case 2:
+		return "occupancy-revert"
+	case 3:
+		return "phase-shift"
+	case 4:
+		return "mmu-below-floor"
+	case 5:
+		return "footprint-over-cap"
+	case 6:
+		return "footprint-relax"
+	case 7:
+		return "gc-overhead-high"
+	default:
+		return "none"
 	}
 }
 

@@ -4,6 +4,8 @@ import (
 	"math"
 	"sort"
 	"testing"
+
+	"beltway/internal/stats"
 )
 
 // latencySample builds a deterministic request-latency-shaped
@@ -51,14 +53,9 @@ func TestQuantileInterpolationBound(t *testing.T) {
 	sorted := append([]float64(nil), samples...)
 	sort.Float64s(sorted)
 	exactQ := func(q float64) float64 {
-		i := int(q*float64(len(sorted))+0.5) - 1
-		if i < 0 {
-			i = 0
-		}
-		if i >= len(sorted) {
-			i = len(sorted) - 1
-		}
-		return sorted[i]
+		// The same shared nearest-rank the exact-quantile consumers use
+		// (stats.SummarizePauses, server.Summarize).
+		return stats.NearestRank(sorted, q)
 	}
 	for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999} {
 		est := h.Quantile(q)

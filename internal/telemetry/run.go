@@ -72,6 +72,9 @@ type Run struct {
 	// server is the lazily-registered request observer (ServerObserver);
 	// nil until the run serves request traffic.
 	server *ServerObserver
+	// policy is the lazily-registered decision observer (PolicyObserver);
+	// nil until the run attaches an adaptive controller.
+	policy *PolicyObserver
 	// Per-belt line occupancy from the last Occupancy emission, so the
 	// gauges can report whole-heap sums while the hook stream is per
 	// belt. Grown on first sight of a belt; steady-state emission stays
