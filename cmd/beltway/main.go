@@ -33,7 +33,6 @@ import (
 	"beltway/internal/collectors"
 	"beltway/internal/core"
 	"beltway/internal/harness"
-	"beltway/internal/policy"
 	"beltway/internal/server"
 	"beltway/internal/stats"
 	"beltway/internal/telemetry"
@@ -88,29 +87,28 @@ func main() {
 	}
 	env.Pretenure = *preten
 	env.Mutators = *muts
-	if *adapt != "" {
-		if _, perr := policy.Parse(*adapt); perr != nil {
-			fatalf("-adapt: %v", perr)
+	env.Policy = *adapt
+	seedSet, mutatorsSet := false, false // explicit flags, even at defaults
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "seed":
+			seedSet = true
+		case "mutators":
+			mutatorsSet = true
 		}
-		env.Policy = *adapt
+	})
+	// An explicit -mutators forces the sharded runtime in server mode even
+	// at 1, so validate against it upfront rather than deep in the run.
+	if err := harness.ValidateEnv(env, mutatorsSet && *serverMode); err != nil {
+		fatalf("%v", err)
 	}
 
 	// Server mode: no min-heap search; -heap multiplies the store's
 	// estimated live size, and the request stream rides -seed when set.
 	var sc server.Config
 	var slo server.SLO
-	mutatorsSet := false // -mutators given explicitly, even as 1
 	if *serverMode {
 		sc = server.Scaled(*scale)
-		seedSet := false
-		flag.Visit(func(f *flag.Flag) {
-			switch f.Name {
-			case "seed":
-				seedSet = true
-			case "mutators":
-				mutatorsSet = true
-			}
-		})
 		if seedSet {
 			sc.Seed = *seed
 		}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"beltway/internal/bench"
+	"beltway/internal/harness"
 )
 
 // Result is one benchmark measurement in the JSON report.
@@ -78,6 +79,9 @@ func main() {
 		}
 		return
 	}
+	if *mutators < 0 {
+		fatal(fmt.Errorf("-mutators must be at least 1 (got %d)", *mutators))
+	}
 	if *mutators > 0 {
 		var counts []int
 		for _, n := range bench.ShardCounts {
@@ -86,6 +90,12 @@ func main() {
 			}
 		}
 		bench.ShardCounts = counts
+	}
+	// -adapt applies only to the flat single-mutator server benchmarks
+	// (-mutators here caps the shard suite's curve, a different axis), so
+	// validate it as a single-mutator environment.
+	if err := harness.ValidateEnv(harness.Env{Policy: *adapt, Mutators: 1}, false); err != nil {
+		fatal(err)
 	}
 	bench.ServerPolicy = *adapt
 

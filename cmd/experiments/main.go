@@ -42,7 +42,6 @@ import (
 	"beltway/internal/engine"
 	"beltway/internal/experiments"
 	"beltway/internal/harness"
-	"beltway/internal/policy"
 	"beltway/internal/stats"
 	"beltway/internal/telemetry"
 	"beltway/internal/workload"
@@ -120,11 +119,9 @@ func main() {
 	env.Degrade = *degrade
 	env.FaultSeed = *faultSeed
 	env.Mutators = *mutators
-	if *adapt != "" {
-		if _, perr := policy.Parse(*adapt); perr != nil {
-			fatalf("-adapt: %v", perr)
-		}
-		env.Policy = *adapt
+	env.Policy = *adapt
+	if err := harness.ValidateEnv(env, false); err != nil {
+		fatalf("%v", err)
 	}
 
 	// Telemetry: observability output goes to files (and the optional HTTP
@@ -151,6 +148,21 @@ func main() {
 		Resume:     *resume,
 		Timeout:    *timeout,
 		ServerSLO:  *slo,
+	}
+	if *checkpoint != "" {
+		// Bind checkpoint records to this build and configuration, so a
+		// -resume against records from a different binary or parameter set
+		// re-executes them (loudly) instead of silently reusing them.
+		binHash, err := engine.BinaryHash()
+		if err != nil {
+			fatalf("hashing own binary: %v", err)
+		}
+		envJSON, err := json.Marshal(env)
+		if err != nil {
+			fatalf("fingerprinting env: %v", err)
+		}
+		opts.Fingerprint = engine.Fingerprint("experiments", binHash, string(envJSON),
+			fmt.Sprint(*points), *benchSel, *slo)
 	}
 	if obs != nil {
 		opts.OnRecord = obs.onRecord

@@ -93,6 +93,12 @@ type Record struct {
 	// Attempts counts executions when the transient-retry policy re-ran
 	// the job (0 or absent: the first execution stood).
 	Attempts int `json:"attempts,omitempty"`
+	// ConfigHash stamps the record with Config.Fingerprint at commit
+	// time, binding it to the exact build and configuration that produced
+	// it. A resumed engine whose fingerprint differs invalidates the
+	// record instead of silently reusing a measurement from a different
+	// binary or parameter set.
+	ConfigHash string `json:"config_hash,omitempty"`
 
 	// Resumed marks records satisfied from the checkpoint rather than
 	// executed; it is process-local and not serialized.
@@ -112,6 +118,12 @@ type Config struct {
 	// Resume loads the checkpoint before the first Run and skips jobs
 	// whose key already has a completed record. New records are appended.
 	Resume bool
+	// Fingerprint, when non-empty, is written into every committed
+	// record (Record.ConfigHash) and checked on resume: prior records
+	// whose hash differs — results from a different build or
+	// configuration — are invalidated (re-executed) with a loud warning
+	// instead of being silently reused. Empty disables the check.
+	Fingerprint string
 	// Timeout is the per-job wall-clock budget; 0 means none.
 	Timeout time.Duration
 	// Retries bounds additional executions of a job whose error is marked
@@ -138,10 +150,11 @@ type Engine struct {
 	cfg Config
 	rep *Reporter
 
-	mu     sync.Mutex
-	inited bool
-	prior  map[string]Record // completed records by Key.String()
-	file   *os.File
+	mu          sync.Mutex
+	inited      bool
+	prior       map[string]Record // completed records by Key.String()
+	file        *os.File
+	invalidated int // stale records dropped on resume (fingerprint mismatch)
 }
 
 // New creates an engine. The checkpoint file is not touched until the
@@ -152,6 +165,14 @@ func New(cfg Config) *Engine {
 
 // Reporter returns the engine's progress reporter.
 func (e *Engine) Reporter() *Reporter { return e.rep }
+
+// Invalidated returns how many checkpoint records the resume load dropped
+// because their ConfigHash did not match Config.Fingerprint.
+func (e *Engine) Invalidated() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.invalidated
+}
 
 // Close syncs and releases the checkpoint file, if any. The sync makes
 // the final flush crash-safe: every record committed before Close
@@ -196,8 +217,23 @@ func (e *Engine) init() error {
 				return err
 			}
 			for k, rec := range prior {
-				if rec.Outcome.Completed() {
-					e.prior[k] = rec
+				if !rec.Outcome.Completed() {
+					continue
+				}
+				if e.cfg.Fingerprint != "" && rec.ConfigHash != e.cfg.Fingerprint {
+					e.invalidated++
+					continue
+				}
+				e.prior[k] = rec
+			}
+			if e.invalidated > 0 {
+				msg := fmt.Sprintf(
+					"engine: checkpoint %s: invalidated %d stale record(s) whose config/binary hash does not match this run; they will be re-executed",
+					e.cfg.Checkpoint, e.invalidated)
+				if e.cfg.Progress != nil {
+					e.cfg.Progress(msg)
+				} else {
+					fmt.Fprintln(os.Stderr, msg)
 				}
 			}
 		}
@@ -289,6 +325,7 @@ func (e *Engine) Run(jobs []Job) ([]Record, error) {
 					continue
 				}
 				rec := e.executeWithRetry(j)
+				rec.ConfigHash = e.cfg.Fingerprint
 				if err := e.commit(rec); err != nil {
 					errOnce.Do(func() { runErr = err })
 				}

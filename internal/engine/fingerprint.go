@@ -1,0 +1,62 @@
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
+	"os"
+	"sync"
+)
+
+// Fingerprint hashes an ordered list of strings into a stable hex digest.
+// Callers bind checkpoints (Config.Fingerprint) and ledger entries to the
+// exact configuration that produced them by fingerprinting the relevant
+// inputs — typically the binary hash plus the serialized run parameters.
+// Parts are length-prefix framed, so ("ab","c") and ("a","bc") differ.
+func Fingerprint(parts ...string) string {
+	h := sha256.New()
+	for _, p := range parts {
+		var n [8]byte
+		l := len(p)
+		for i := 0; i < 8; i++ {
+			n[i] = byte(l >> (8 * i))
+		}
+		h.Write(n[:])
+		io.WriteString(h, p)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+var binaryHash struct {
+	once sync.Once
+	hex  string
+	err  error
+}
+
+// BinaryHash returns the SHA-256 of the currently running executable,
+// computed once per process. It is the "which build produced this
+// number" component of checkpoint fingerprints and ledger entries: a
+// record stamped with a different binary hash was measured by different
+// code and must not be silently reused.
+func BinaryHash() (string, error) {
+	binaryHash.once.Do(func() {
+		path, err := os.Executable()
+		if err != nil {
+			binaryHash.err = err
+			return
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			binaryHash.err = err
+			return
+		}
+		defer f.Close()
+		h := sha256.New()
+		if _, err := io.Copy(h, f); err != nil {
+			binaryHash.err = err
+			return
+		}
+		binaryHash.hex = hex.EncodeToString(h.Sum(nil))
+	})
+	return binaryHash.hex, binaryHash.err
+}

@@ -1,0 +1,138 @@
+package engine
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFingerprintFraming(t *testing.T) {
+	if Fingerprint("ab", "c") == Fingerprint("a", "bc") {
+		t.Fatal("length framing failed: shifted parts collide")
+	}
+	if Fingerprint("x") != Fingerprint("x") {
+		t.Fatal("fingerprint not deterministic")
+	}
+	if Fingerprint() == Fingerprint("") {
+		t.Fatal("empty part should differ from no parts")
+	}
+}
+
+func TestBinaryHashStable(t *testing.T) {
+	a, err := BinaryHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BinaryHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b || len(a) != 64 {
+		t.Fatalf("unstable or malformed binary hash: %q vs %q", a, b)
+	}
+}
+
+// runFingerprinted runs one trivial checkpointed job under the given
+// fingerprint and returns the engine after Close.
+func runFingerprinted(t *testing.T, ckpt, fp string, resume bool) (*Engine, []Record) {
+	t.Helper()
+	eng := New(Config{Workers: 1, Checkpoint: ckpt, Resume: resume, Fingerprint: fp,
+		Progress: func(string) {}})
+	recs, err := eng.Run([]Job{{
+		Key: Key{Experiment: "fp", Benchmark: "b"},
+		Run: func() (any, Outcome, error) { return 42, OK, nil },
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return eng, recs
+}
+
+// TestResumeMatchingFingerprintReuses: same fingerprint, records resumed.
+func TestResumeMatchingFingerprintReuses(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "run.jsonl")
+	_, recs := runFingerprinted(t, ckpt, "fp-a", false)
+	if recs[0].Resumed {
+		t.Fatal("first run cannot resume")
+	}
+	if recs[0].ConfigHash != "fp-a" {
+		t.Fatalf("record not stamped: %q", recs[0].ConfigHash)
+	}
+	eng, recs := runFingerprinted(t, ckpt, "fp-a", true)
+	if !recs[0].Resumed {
+		t.Fatal("matching fingerprint must resume the record")
+	}
+	if eng.Invalidated() != 0 {
+		t.Fatalf("invalidated %d records under a matching fingerprint", eng.Invalidated())
+	}
+}
+
+// TestResumeMismatchedFingerprintInvalidates: a checkpoint written by a
+// different build/config must not be silently reused — its records are
+// dropped, re-executed, and the drop is reported.
+func TestResumeMismatchedFingerprintInvalidates(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "run.jsonl")
+	runFingerprinted(t, ckpt, "fp-a", false)
+
+	var notes []string
+	eng := New(Config{Workers: 1, Checkpoint: ckpt, Resume: true, Fingerprint: "fp-b",
+		Progress: func(s string) { notes = append(notes, s) }})
+	executed := false
+	recs, err := eng.Run([]Job{{
+		Key: Key{Experiment: "fp", Benchmark: "b"},
+		Run: func() (any, Outcome, error) { executed = true; return 42, OK, nil },
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if !executed || recs[0].Resumed {
+		t.Fatal("mismatched fingerprint must re-execute the job")
+	}
+	if eng.Invalidated() != 1 {
+		t.Fatalf("want 1 invalidated record, got %d", eng.Invalidated())
+	}
+	found := false
+	for _, n := range notes {
+		if strings.Contains(n, "invalidated 1 stale record") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no loud invalidation note in %q", notes)
+	}
+	if recs[0].ConfigHash != "fp-b" {
+		t.Fatalf("re-executed record stamped %q", recs[0].ConfigHash)
+	}
+}
+
+// TestResumeUnstampedRecordsInvalidatedUnderFingerprint: legacy records
+// with no hash are also stale once the engine runs fingerprinted.
+func TestResumeUnstampedRecordsInvalidatedUnderFingerprint(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "run.jsonl")
+	runFingerprinted(t, ckpt, "", false) // legacy: no fingerprint, no stamp
+	eng, recs := runFingerprinted(t, ckpt, "fp-a", true)
+	if recs[0].Resumed {
+		t.Fatal("unstamped record must not satisfy a fingerprinted resume")
+	}
+	if eng.Invalidated() != 1 {
+		t.Fatalf("want 1 invalidated record, got %d", eng.Invalidated())
+	}
+}
+
+// TestResumeWithoutFingerprintKeepsAll: fingerprinting off, behavior is
+// unchanged — stamped and unstamped records both resume.
+func TestResumeWithoutFingerprintKeepsAll(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "run.jsonl")
+	runFingerprinted(t, ckpt, "fp-a", false)
+	eng, recs := runFingerprinted(t, ckpt, "", true)
+	if !recs[0].Resumed {
+		t.Fatal("fingerprint-off resume must reuse records regardless of stamps")
+	}
+	if eng.Invalidated() != 0 {
+		t.Fatalf("invalidated %d records with fingerprinting off", eng.Invalidated())
+	}
+}

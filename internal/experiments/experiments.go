@@ -45,6 +45,10 @@ type Opts struct {
 	Checkpoint string
 	// Resume loads Checkpoint and skips measurements it already holds.
 	Resume bool
+	// Fingerprint, when non-empty, stamps every checkpoint record with
+	// this config/binary hash and invalidates prior records whose hash
+	// differs on resume (see engine.Config.Fingerprint).
+	Fingerprint string
 	// Timeout is a per-measurement wall-clock budget; 0 means none.
 	Timeout time.Duration
 	// OnRecord, if non-nil, receives every engine record (fresh and
@@ -105,12 +109,13 @@ func New(opts Opts) *Suite {
 		cache: make(map[cacheKey]*cacheEntry),
 		mins:  make(map[string]*minEntry),
 		exec: harness.NewExecutor(engine.Config{
-			Workers:    opts.Jobs,
-			Checkpoint: opts.Checkpoint,
-			Resume:     opts.Resume,
-			Timeout:    opts.Timeout,
-			Progress:   opts.Progress,
-			OnRecord:   opts.OnRecord,
+			Workers:     opts.Jobs,
+			Checkpoint:  opts.Checkpoint,
+			Resume:      opts.Resume,
+			Fingerprint: opts.Fingerprint,
+			Timeout:     opts.Timeout,
+			Progress:    opts.Progress,
+			OnRecord:    opts.OnRecord,
 		}),
 	}
 }

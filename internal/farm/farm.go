@@ -1,0 +1,352 @@
+package farm
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"beltway/internal/collectors"
+	"beltway/internal/core"
+	"beltway/internal/engine"
+	"beltway/internal/generational"
+	"beltway/internal/harness"
+	"beltway/internal/telemetry"
+	"beltway/internal/workload"
+)
+
+// LedgerFile is the ledger's filename inside a farm out dir.
+const LedgerFile = "LEDGER.jsonl"
+
+// CheckpointFile is the engine checkpoint's filename inside an out dir.
+const CheckpointFile = "checkpoint.jsonl"
+
+// runsDir holds the per-run artifact files inside an out dir.
+const runsDir = "runs"
+
+// Config parameterizes a farm run.
+type Config struct {
+	Grid Grid
+	// OutDir receives the ledger, checkpoint, and per-run artifacts.
+	OutDir string
+	// Workers bounds concurrent worker processes; <= 0 means 2.
+	Workers int
+	// Resume picks up from OutDir's checkpoint and ledger. Without it,
+	// OutDir must not already hold a ledger (the ledger is append-only:
+	// starting over means a fresh directory, not a rewrite).
+	Resume bool
+	// Retries bounds requeues of a job whose worker crashed; < 0 disables,
+	// 0 means the default (2).
+	Retries int
+	// RetryBackoff is the engine's backoff before requeuing (default 0).
+	RetryBackoff time.Duration
+	// Deadline is the per-job wall-clock bound; a worker that misses it is
+	// escalated SIGTERM → SIGKILL and the job retried. 0 means none.
+	Deadline time.Duration
+	// WorkerCommand builds the spawn-th worker process command; it must
+	// run ServeWorker on stdin/stdout. Nil re-execs this binary with the
+	// single argument "worker".
+	WorkerCommand func(spawn int) *exec.Cmd
+	// Progress, if non-nil, receives one line per notable event.
+	Progress func(string)
+	// Metrics, if non-nil, receives farm counters.
+	Metrics *telemetry.FarmMetrics
+}
+
+// Summary reports what a farm run did.
+type Summary struct {
+	Jobs          int `json:"jobs"`
+	Completed     int `json:"completed"`
+	Failed        int `json:"failed"`
+	Resumed       int `json:"resumed"`
+	Invalidated   int `json:"invalidated"`
+	WorkerSpawns  int `json:"worker_spawns"`
+	WorkerCrashes int `json:"worker_crashes"`
+	LedgerEntries int `json:"ledger_entries"`
+}
+
+// Run executes the grid over worker processes, appending every completed
+// run to the out dir's hash-chained ledger. A worker crash (including
+// OOM kill and hang escalation) fails only its job, which is requeued
+// through the engine's transient-retry path on a respawned worker; a
+// killed orchestrator resumes from the checkpoint and ledger with no
+// duplicated or lost entries.
+func Run(cfg Config) (*Summary, error) {
+	if err := cfg.Grid.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.OutDir == "" {
+		return nil, fmt.Errorf("farm: no out dir")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	switch {
+	case cfg.Retries == 0:
+		cfg.Retries = 2
+	case cfg.Retries < 0:
+		cfg.Retries = 0
+	}
+	if cfg.WorkerCommand == nil {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, fmt.Errorf("farm: cannot locate own binary for worker re-exec: %w", err)
+		}
+		cfg.WorkerCommand = func(int) *exec.Cmd { return exec.Command(exe, "worker") }
+	}
+	progress := cfg.Progress
+	if progress == nil {
+		progress = func(string) {}
+	}
+
+	if err := os.MkdirAll(filepath.Join(cfg.OutDir, runsDir), 0o755); err != nil {
+		return nil, err
+	}
+	ledgerPath := filepath.Join(cfg.OutDir, LedgerFile)
+	if !cfg.Resume {
+		if fi, err := os.Stat(ledgerPath); err == nil && fi.Size() > 0 {
+			return nil, fmt.Errorf("farm: %s already holds a ledger; resume it (-resume) or use a fresh out dir — ledgers are append-only", cfg.OutDir)
+		}
+	}
+	ledger, note, err := OpenLedger(ledgerPath)
+	if err != nil {
+		return nil, err
+	}
+	defer ledger.Close()
+	if note != "" {
+		progress(note)
+	}
+
+	binHash, err := engine.BinaryHash()
+	if err != nil {
+		return nil, fmt.Errorf("farm: %w", err)
+	}
+	gridJSON, err := json.Marshal(cfg.Grid)
+	if err != nil {
+		return nil, err
+	}
+	fingerprint := engine.Fingerprint("farm", binHash, string(gridJSON))
+
+	m := cfg.Metrics
+	var (
+		ledgerMu  sync.Mutex
+		ledgerErr error
+	)
+	eng := engine.New(engine.Config{
+		Workers:      cfg.Workers,
+		Checkpoint:   filepath.Join(cfg.OutDir, CheckpointFile),
+		Resume:       cfg.Resume,
+		Fingerprint:  fingerprint,
+		Retries:      cfg.Retries,
+		RetryBackoff: cfg.RetryBackoff,
+		Progress:     cfg.Progress,
+		OnRecord: func(rec engine.Record) {
+			if rec.Key.Experiment != Experiment || !rec.Outcome.Completed() {
+				return
+			}
+			if m != nil {
+				m.JobsCompleted.Inc()
+			}
+			appended, err := commitToLedger(cfg.OutDir, ledger, rec, cfg.Grid.Env, binHash)
+			if err != nil {
+				ledgerMu.Lock()
+				if ledgerErr == nil {
+					ledgerErr = err
+				}
+				ledgerMu.Unlock()
+			}
+			if appended && m != nil {
+				m.LedgerEntries.Inc()
+			}
+		},
+	})
+	defer eng.Close()
+	stopFlush := eng.FlushOnSignal(os.Interrupt, syscall.SIGTERM)
+	defer stopFlush()
+
+	pool := engine.NewProcPool(engine.ProcConfig{
+		Workers:  cfg.Workers,
+		Command:  cfg.WorkerCommand,
+		Deadline: cfg.Deadline,
+		OnSpawn: func(int) {
+			if m != nil {
+				m.WorkersSpawned.Inc()
+			}
+		},
+		OnCrash: func(spawn int, kind engine.CrashKind) {
+			if m != nil {
+				m.WorkersCrashed.Inc()
+				if kind == engine.CrashHang {
+					m.WorkerKills.Inc()
+				}
+			}
+			progress(fmt.Sprintf("farm: worker %d lost (%s); its job will be requeued", spawn, kind))
+		},
+	})
+	defer pool.Close()
+
+	mins, err := minHeaps(eng, cfg.Grid)
+	if err != nil {
+		return nil, err
+	}
+	specs, err := BuildSpecs(cfg.Grid, mins)
+	if err != nil {
+		return nil, err
+	}
+
+	jobs := make([]engine.Job, len(specs))
+	for i := range specs {
+		spec := specs[i]
+		jobs[i] = engine.Job{Key: spec.Key(), Run: func() (any, engine.Outcome, error) {
+			req, err := json.Marshal(spec)
+			if err != nil {
+				return nil, "", err
+			}
+			resp, err := pool.Do(req)
+			if err != nil {
+				var ce *engine.CrashError
+				if errors.As(err, &ce) {
+					if m != nil {
+						m.JobsRetried.Inc()
+					}
+					return nil, "", engine.MarkTransient(err)
+				}
+				return nil, "", err
+			}
+			var wr WorkerResult
+			if err := json.Unmarshal(resp, &wr); err != nil {
+				return nil, "", fmt.Errorf("farm: bad worker reply: %w", err)
+			}
+			return wr.Payload, wr.Outcome, nil
+		}}
+	}
+	recs, err := eng.Run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	if cerr := eng.Close(); cerr != nil {
+		return nil, cerr
+	}
+	if ledgerErr != nil {
+		return nil, ledgerErr
+	}
+
+	sum := &Summary{
+		Jobs:          len(recs),
+		Invalidated:   eng.Invalidated(),
+		WorkerSpawns:  pool.Spawns(),
+		LedgerEntries: ledger.Len(),
+	}
+	for _, rec := range recs {
+		if rec.Outcome.Completed() {
+			sum.Completed++
+		} else {
+			sum.Failed++
+		}
+		if rec.Resumed {
+			sum.Resumed++
+		}
+	}
+	if m != nil {
+		sum.WorkerCrashes = int(m.WorkersCrashed.Value())
+	}
+	return sum, nil
+}
+
+// commitToLedger writes the run's artifact file (atomically: temp file
+// then rename) and appends its ledger entry. Called for fresh and
+// resumed records alike; the ledger's key check makes it idempotent, so
+// a crash between checkpoint write and ledger append heals on resume.
+// Every spec in one farm run shares the grid environment, so the spec is
+// fully reconstructible from the record key plus env.
+func commitToLedger(outDir string, ledger *Ledger, rec engine.Record, env harness.Env, binHash string) (bool, error) {
+	spec := JobSpec{
+		Collector: rec.Key.Collector,
+		Benchmark: rec.Key.Benchmark,
+		HeapBytes: rec.Key.HeapBytes,
+		Env:       env,
+	}
+	if ledger.Has(spec.Key()) {
+		return false, nil
+	}
+	name := artifactName(rec.Key)
+	full := filepath.Join(outDir, runsDir, name)
+	tmp := full + ".tmp"
+	if err := os.WriteFile(tmp, rec.Payload, 0o644); err != nil {
+		return false, err
+	}
+	if err := os.Rename(tmp, full); err != nil {
+		return false, err
+	}
+	return ledger.Append(Entry{
+		Spec:         spec,
+		Outcome:      rec.Outcome,
+		Attempts:     rec.Attempts,
+		BinaryHash:   binHash,
+		Artifact:     filepath.Join(runsDir, name),
+		ResultDigest: harness.PayloadDigest(rec.Payload),
+	})
+}
+
+// minHeaps runs (or resumes) the per-benchmark Appel minimum-heap
+// searches as in-process engine jobs, checkpointed like everything else.
+func minHeaps(eng *engine.Engine, g Grid) (map[string]int, error) {
+	type minPayload struct {
+		MinHeapBytes int `json:"min_heap_bytes"`
+	}
+	jobs := make([]engine.Job, len(g.Benchmarks))
+	for i, name := range g.Benchmarks {
+		bench := workload.Get(name)
+		jobs[i] = engine.Job{
+			Key: engine.Key{Experiment: minHeapExperiment, Collector: "appel", Benchmark: name},
+			Run: func() (any, engine.Outcome, error) {
+				min, err := harness.FindMinHeap(appelConfig(g.Env), bench, g.Env)
+				if err != nil {
+					return nil, "", err
+				}
+				return minPayload{MinHeapBytes: min}, engine.OK, nil
+			},
+		}
+	}
+	recs, err := eng.Run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]int, len(recs))
+	for i, rec := range recs {
+		if !rec.Outcome.Completed() {
+			return nil, fmt.Errorf("farm: min heap search for %s: %s: %s", g.Benchmarks[i], rec.Outcome, rec.Error)
+		}
+		var p minPayload
+		if uerr := json.Unmarshal(rec.Payload, &p); uerr != nil || p.MinHeapBytes <= 0 {
+			return nil, fmt.Errorf("farm: bad min heap record for %s: %v", g.Benchmarks[i], uerr)
+		}
+		out[g.Benchmarks[i]] = p.MinHeapBytes
+	}
+	return out, nil
+}
+
+// appelConfig curries the Appel baseline over the environment, for the
+// minimum-heap searches.
+func appelConfig(env harness.Env) harness.ConfigFunc {
+	return func(heapBytes int) core.Config {
+		return generational.Appel(collectors.Options{
+			HeapBytes:    heapBytes,
+			FrameBytes:   env.FrameBytes,
+			PhysMemBytes: env.PhysMemBytes,
+		})
+	}
+}
+
+// artifactName renders a run key as a filename: experiment, collector,
+// benchmark, heap joined with "__", path separators replaced.
+func artifactName(k engine.Key) string {
+	s := fmt.Sprintf("%s__%s__%s__%d.json", k.Experiment, k.Collector, k.Benchmark, k.HeapBytes)
+	return strings.NewReplacer("/", "_", string(filepath.Separator), "_").Replace(s)
+}

@@ -1,0 +1,54 @@
+package farm
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"syscall"
+	"time"
+
+	"beltway/internal/engine"
+)
+
+// WorkerResult is the worker's reply for one executed spec: the refined
+// outcome plus the canonical payload bytes. Deterministic failures
+// (misconfiguration) travel as protocol-level errors instead, so the
+// orchestrator records them without retrying; process-level failures
+// never produce a reply at all — the orchestrator sees the crash.
+type WorkerResult struct {
+	Outcome engine.Outcome  `json:"outcome"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// WorkerOpts parameterizes ServeWorker.
+type WorkerOpts struct {
+	// DieAfter, when positive, makes the worker SIGKILL itself upon
+	// receiving its DieAfter-th request, before executing it — a
+	// deterministic stand-in for an OOM-killed or crashing worker, used by
+	// the kill-resilience tests and the CI farm-smoke job.
+	DieAfter int
+}
+
+// ServeWorker runs the farm worker loop: decode a JobSpec per request,
+// execute it, reply with a WorkerResult. It returns when the request
+// stream closes (the orchestrator exiting) or becomes undecodable.
+func ServeWorker(r io.Reader, w io.Writer, opts WorkerOpts) error {
+	served := 0
+	return engine.ServeProc(r, w, func(req json.RawMessage) (json.RawMessage, error) {
+		served++
+		if opts.DieAfter > 0 && served >= opts.DieAfter {
+			syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			time.Sleep(time.Hour) // unreachable; SIGKILL is not handled
+		}
+		var spec JobSpec
+		if err := json.Unmarshal(req, &spec); err != nil {
+			return nil, fmt.Errorf("farm worker: bad spec: %w", err)
+		}
+		payload, out, err := ExecuteSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(WorkerResult{Outcome: out, Payload: payload})
+	})
+}

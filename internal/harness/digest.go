@@ -1,0 +1,43 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"beltway/internal/stats"
+)
+
+// PayloadDigest hashes a run's serialized checkpoint payload — the exact
+// bytes the engine committed and the farm writes as the per-run artifact.
+// The farm ledger stores this digest so a verifier can re-derive it from
+// the artifact file (and, by replaying the run, from scratch).
+func PayloadDigest(payload []byte) string {
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:])
+}
+
+// ResultDigest hashes a Result through its canonical JSON serialization,
+// wrapped in the same RunPayload envelope the engine checkpoints use —
+// so digesting a freshly-executed Result and digesting the bytes of its
+// checkpoint artifact agree.
+func ResultDigest(res *Result) (string, error) {
+	payload, err := MarshalRunPayload(res)
+	if err != nil {
+		return "", err
+	}
+	return PayloadDigest(payload), nil
+}
+
+// MarshalRunPayload serializes a Result into the canonical checkpoint
+// payload (RunPayload with derived pause summary). Every producer of
+// payload bytes — the in-process executor, the farm worker, and ledger
+// replay — must use this one serialization so byte comparisons are
+// meaningful.
+func MarshalRunPayload(res *Result) ([]byte, error) {
+	if res == nil {
+		return nil, fmt.Errorf("harness: nil result")
+	}
+	return json.Marshal(RunPayload{Result: res, PauseStats: stats.SummarizePauses(res.Pauses)})
+}

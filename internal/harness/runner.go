@@ -72,7 +72,14 @@ func (x *Executor) RunAll(specs []RunSpec) ([]*Result, []engine.Record, error) {
 			case res.Aborted:
 				out = engine.Budget
 			}
-			return RunPayload{Result: res, PauseStats: stats.SummarizePauses(res.Pauses)}, out, nil
+			// The canonical serialization (shared with the farm worker and
+			// ledger replay), pre-marshaled so the checkpoint bytes are the
+			// digestable artifact bytes.
+			payload, merr := MarshalRunPayload(res)
+			if merr != nil {
+				return nil, "", merr
+			}
+			return json.RawMessage(payload), out, nil
 		}}
 	}
 	recs, err := x.eng.Run(jobs)

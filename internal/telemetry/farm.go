@@ -1,0 +1,35 @@
+package telemetry
+
+// FarmMetrics are the experiment-farm orchestrator's counters: worker
+// process lifecycle, job retry traffic, and ledger growth. Registered on
+// a Registry so they export through the same snapshot/Prometheus paths
+// as the collector metrics.
+type FarmMetrics struct {
+	// WorkersSpawned counts worker process launches, respawns included.
+	WorkersSpawned *Counter
+	// WorkersCrashed counts worker processes lost mid-job (exit, signal,
+	// hang escalation, protocol breakdown).
+	WorkersCrashed *Counter
+	// WorkerKills counts hang escalations that ended in the orchestrator
+	// SIGKILLing a worker.
+	WorkerKills *Counter
+	// JobsRetried counts jobs requeued after a worker crash.
+	JobsRetried *Counter
+	// JobsCompleted counts jobs that settled with a completed outcome
+	// (ok, oom, budget), fresh or resumed.
+	JobsCompleted *Counter
+	// LedgerEntries counts entries appended to the run ledger.
+	LedgerEntries *Counter
+}
+
+// NewFarmMetrics registers the farm counters on a registry.
+func NewFarmMetrics(r *Registry) *FarmMetrics {
+	return &FarmMetrics{
+		WorkersSpawned: r.NewCounter("farm_workers_spawned_total", "worker processes launched (respawns included)"),
+		WorkersCrashed: r.NewCounter("farm_workers_crashed_total", "worker processes lost mid-job"),
+		WorkerKills:    r.NewCounter("farm_worker_kills_total", "workers SIGKILLed after missing the job deadline"),
+		JobsRetried:    r.NewCounter("farm_jobs_retried_total", "jobs requeued after a worker crash"),
+		JobsCompleted:  r.NewCounter("farm_jobs_completed_total", "jobs settled with a completed outcome"),
+		LedgerEntries:  r.NewCounter("farm_ledger_entries_total", "entries appended to the run ledger"),
+	}
+}

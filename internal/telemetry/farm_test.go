@@ -1,0 +1,34 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFarmMetricsExport(t *testing.T) {
+	r := NewRegistry()
+	m := NewFarmMetrics(r)
+	m.WorkersSpawned.Add(3)
+	m.WorkersCrashed.Inc()
+	m.JobsRetried.Inc()
+	m.JobsCompleted.Add(8)
+	m.LedgerEntries.Add(8)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"farm_workers_spawned_total 3",
+		"farm_workers_crashed_total 1",
+		"farm_worker_kills_total 0",
+		"farm_jobs_retried_total 1",
+		"farm_jobs_completed_total 8",
+		"farm_ledger_entries_total 8",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("export missing %q:\n%s", want, out)
+		}
+	}
+}
